@@ -1,0 +1,65 @@
+"""Shared infrastructure for the per-figure benchmarks.
+
+Each benchmark module regenerates one paper artefact (table or figure),
+prints it in a paper-like text form, and asserts the *shape* the paper
+claims (who wins, directions, rough factors) — not absolute numbers, since
+the substrate is a simulator rather than the authors' testbed.
+
+Simulation runs are cached per session and shared between benchmarks
+(Figures 4-7 all consume the same configure-suite sweep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.metrics.summary import RunResult
+
+#: Machines each suite sweeps in benchmark mode (a subset of the paper's
+#: four, keeping the full suite tractable; the harness supports all four).
+CONFIGURE_MACHINES = ("5218_2s", "e78870_4s")
+DACAPO_MACHINES = ("6130_4s",)
+NAS_MACHINES = ("5218_2s", "e78870_4s")
+PHORONIX_MACHINES = ("5218_2s", "e78870_4s")
+
+#: Workload scale used by the benches (trades fidelity for wall-clock).
+CONFIGURE_SCALE = 0.6
+DACAPO_SCALE = 1.0
+NAS_SCALE = 0.2
+PHORONIX_SCALE = 0.6
+
+SEED = 1
+
+
+class RunCache:
+    """Session-wide memo of simulation runs."""
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def get(self, workload_factory, machine_key: str, scheduler: str,
+            governor: str, seed: int = SEED, **kwargs) -> RunResult:
+        wl = workload_factory()
+        key = (wl.name, machine_key, scheduler, governor, seed,
+               tuple(sorted(kwargs.items())))
+        if key not in self._cache:
+            self._cache[key] = run_experiment(
+                wl, get_machine(machine_key), scheduler, governor,
+                seed=seed, **kwargs)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache()
+
+
+def once(benchmark, fn):
+    """Run a regeneration function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def speedup_pct(base: RunResult, cand: RunResult) -> float:
+    return base.makespan_us / cand.makespan_us - 1.0

@@ -1,0 +1,37 @@
+"""Figure 3: underload trace for LLVM configure on the 5218.
+
+CFS shows substantial underload throughout the execution; under Nest it has
+almost disappeared.
+"""
+
+from conftest import CONFIGURE_SCALE, once, runs
+
+from repro.workloads.configure import ConfigureWorkload
+
+
+def test_fig3(benchmark, runs):
+    def regenerate():
+        out = {}
+        for scheduler in ("cfs", "nest"):
+            res = runs.get(lambda: ConfigureWorkload("llvm_ninja",
+                                                     scale=CONFIGURE_SCALE),
+                           "5218_2s", scheduler, "schedutil")
+            out[scheduler] = res
+            timeline = res.underload.timeline()
+            peak = max(v for _, v in timeline)
+            print(f"\nFigure 3 ({scheduler}-schedutil): "
+                  f"underload/s={res.underload.underload_per_second:.2f} "
+                  f"peak={peak}")
+            # A sparkline of the first 50 intervals.
+            glyphs = " .:-=+*#%@"
+            line = "".join(glyphs[min(len(glyphs) - 1, max(0, v))]
+                           for _, v in timeline[:50])
+            print(f"  [{line}]")
+        return out
+
+    out = once(benchmark, regenerate)
+    cfs_u = out["cfs"].underload.underload_per_second
+    nest_u = out["nest"].underload.underload_per_second
+    # Substantial CFS underload, nearly gone under Nest.
+    assert cfs_u > 1.0
+    assert nest_u < cfs_u * 0.5

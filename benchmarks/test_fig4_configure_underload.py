@@ -1,0 +1,47 @@
+"""Figure 4: underload per second for the configure suite.
+
+Nest nearly eliminates the underload of CFS on every machine.
+"""
+
+from conftest import (CONFIGURE_MACHINES, CONFIGURE_SCALE, once, runs)
+
+from repro.analysis.tables import render_table
+from repro.workloads.configure import ConfigureWorkload, configure_names
+
+COMBOS = (("cfs", "schedutil"), ("cfs", "performance"),
+          ("nest", "schedutil"), ("nest", "performance"))
+
+
+def test_fig4(benchmark, runs):
+    def regenerate():
+        data = {}
+        for mk in CONFIGURE_MACHINES:
+            rows = []
+            for pkg in configure_names():
+                cells = [pkg]
+                for sched, gov in COMBOS:
+                    res = runs.get(
+                        lambda: ConfigureWorkload(pkg, scale=CONFIGURE_SCALE),
+                        mk, sched, gov)
+                    u = res.underload.underload_per_second
+                    data[(mk, pkg, sched, gov)] = u
+                    cells.append(f"{u:.2f}")
+                rows.append(cells)
+            print("\n" + render_table(
+                ["package"] + ["-".join(c) for c in COMBOS], rows,
+                title=f"Figure 4: underload per second on {mk}"))
+        return data
+
+    data = once(benchmark, regenerate)
+
+    for mk in CONFIGURE_MACHINES:
+        cfs_total = sum(data[(mk, p, "cfs", "schedutil")]
+                        for p in configure_names())
+        nest_total = sum(data[(mk, p, "nest", "schedutil")]
+                         for p in configure_names())
+        # Nest nearly eliminates underload across the suite.
+        assert nest_total < cfs_total * 0.5, mk
+        # The performance governor alone does NOT reduce underload.
+        cfs_perf_total = sum(data[(mk, p, "cfs", "performance")]
+                             for p in configure_names())
+        assert cfs_perf_total > cfs_total * 0.5, mk

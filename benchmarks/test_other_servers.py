@@ -1,0 +1,53 @@
+"""Section 5.6: server tests on the 2-socket 6130.
+
+Paper shapes: apache-siege-style servers get slower under Nest as the
+number of concurrent users grows; nginx is comparable under both; the
+key-value stores improve (leveldb +25%, redis +7%).
+"""
+
+from conftest import once
+
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.servers import apache_siege, leveldb, nginx, redis
+
+MACHINE = "6130_2s"
+
+
+def test_servers(benchmark):
+    def regenerate():
+        machine = get_machine(MACHINE)
+        data = {}
+
+        for conc in (8, 32, 56):
+            for sched in ("cfs", "nest"):
+                res = run_experiment(apache_siege(conc), machine, sched,
+                                     "schedutil", seed=1)
+                data[(f"siege-{conc}", sched)] = res.makespan_us
+            d = data[(f"siege-{conc}", "nest")] / \
+                data[(f"siege-{conc}", "cfs")] - 1
+            print(f"apache-siege c={conc}: nest delta {d:+.1%}")
+
+        for name, factory in (("nginx", nginx), ("leveldb", leveldb),
+                              ("redis", redis)):
+            for sched in ("cfs", "nest"):
+                res = run_experiment(factory(), machine, sched,
+                                     "schedutil", seed=1)
+                data[(name, sched)] = res.makespan_us
+            s = data[(name, "cfs")] / data[(name, "nest")] - 1
+            print(f"{name}: nest speedup {s:+.1%}")
+        return data
+
+    data = once(benchmark, regenerate)
+
+    def nest_speedup(key):
+        return data[(key, "cfs")] / data[(key, "nest")] - 1
+
+    # nginx: comparable performance.
+    assert abs(nest_speedup("nginx")) < 0.08
+    # Key-value stores improve under Nest.
+    assert nest_speedup("leveldb") > 0.02
+    assert nest_speedup("redis") > 0.0
+    # apache-siege trends against Nest as concurrency grows.
+    assert nest_speedup("siege-56") < nest_speedup("siege-8") + 0.05
+    assert nest_speedup("siege-56") < 0.05

@@ -1,0 +1,36 @@
+"""Table 1: chosen values of the Nest parameters."""
+
+from conftest import once
+
+from repro.analysis.tables import render_table
+from repro.core.params import DEFAULT_PARAMS
+from repro.sim.clock import TICK_US
+
+
+def test_table1(benchmark):
+    def regenerate():
+        p = DEFAULT_PARAMS
+        rows = [
+            ["P_remove", "Delay before removing an idle core from the "
+             "primary nest", f"{p.p_remove_ticks:g} ticks "
+             f"(= {p.p_remove_ticks * TICK_US / 1000:g} ms)"],
+            ["R_max", "Maximum number of cores in the reserve nest",
+             str(p.r_max)],
+            ["R_impatient", "Successive placement failures tolerated before "
+             "trying to expand the primary nest", str(p.r_impatient)],
+            ["S_max", "Maximum spin duration",
+             f"{p.s_max_ticks:g} ticks"],
+        ]
+        out = render_table(["Parameter", "Description", "Value"], rows,
+                           title="Table 1: chosen values of the Nest "
+                                 "parameters")
+        print("\n" + out)
+        return p
+
+    p = once(benchmark, regenerate)
+    # The paper's Table 1 values.
+    assert p.p_remove_ticks == 2
+    assert p.p_remove_ticks * TICK_US == 8_000     # = 8 ms
+    assert p.r_max == 5
+    assert p.r_impatient == 2
+    assert p.s_max_ticks == 2

@@ -1,0 +1,41 @@
+"""Table 2: hardware characteristics of the evaluation machines."""
+
+from conftest import once
+
+from repro.analysis.tables import render_table
+from repro.hw.machines import PAPER_MACHINES
+
+
+def test_table2(benchmark):
+    def regenerate():
+        rows = []
+        for m in PAPER_MACHINES.values():
+            t = m.topology
+            rows.append([
+                m.cpu_model, m.microarchitecture,
+                f"{t.n_sockets}x{t.cores_per_socket}x{t.smt} = {t.n_cpus}",
+                f"{m.min_mhz / 1000:.1f} GHz",
+                f"{m.nominal_mhz / 1000:.1f} GHz",
+                f"{m.max_turbo_mhz / 1000:.1f} GHz",
+                m.pm.name,
+            ])
+        out = render_table(
+            ["CPU", "Microarchitecture", "# cores", "Min freq", "Max freq",
+             "Max turbo", "Power management"], rows,
+            title="Table 2: hardware characteristics")
+        print("\n" + out)
+        return list(PAPER_MACHINES.values())
+
+    machines = once(benchmark, regenerate)
+    by_model = {(m.cpu_model, m.topology.n_sockets): m for m in machines}
+
+    e7 = by_model[("Intel Xeon E7-8870 v4", 4)]
+    assert (e7.n_cpus, e7.min_mhz, e7.nominal_mhz, e7.max_turbo_mhz) == \
+        (160, 1200, 2100, 3000)
+    g2 = by_model[("Intel Xeon Gold 6130", 2)]
+    assert (g2.n_cpus, g2.min_mhz, g2.nominal_mhz, g2.max_turbo_mhz) == \
+        (64, 1000, 2100, 3700)
+    g4 = by_model[("Intel Xeon Gold 6130", 4)]
+    assert g4.n_cpus == 128
+    c2 = by_model[("Intel Xeon Gold 5218", 2)]
+    assert (c2.n_cpus, c2.nominal_mhz, c2.max_turbo_mhz) == (64, 2300, 3900)

@@ -1,0 +1,34 @@
+"""Table 3: available turbo frequencies by active-core count."""
+
+from conftest import once
+
+from repro.analysis.tables import render_table
+from repro.hw.turbo import E7_8870_V4, XEON_5218, XEON_6130
+
+COLUMNS = (1, 2, 3, 4, 8, 12, 16, 20)   # representatives of the paper's
+                                         # 1,2,3,4,5-8,9-12,13-16,17-20 cols
+
+
+def test_table3(benchmark):
+    def regenerate():
+        rows = []
+        for name, table in (("E7-8870 v4", E7_8870_V4),
+                            ("6130", XEON_6130), ("5218", XEON_5218)):
+            rows.append([name] + [f"{table.ceiling(k) / 1000:.1f}"
+                                  if k <= len(table.limits) else "-"
+                                  for k in COLUMNS])
+        out = render_table(["CPU"] + [str(c) for c in COLUMNS], rows,
+                           title="Table 3: turbo frequencies (GHz) by "
+                                 "active cores on a socket")
+        print("\n" + out)
+        return True
+
+    once(benchmark, regenerate)
+
+    # Paper rows, spot-checked per column group.
+    assert [E7_8870_V4.ceiling(k) for k in (1, 2, 3, 4, 8, 20)] == \
+        [3000, 3000, 2800, 2700, 2600, 2600]
+    assert [XEON_6130.ceiling(k) for k in (1, 3, 8, 12, 16)] == \
+        [3700, 3500, 3400, 3100, 2800]
+    assert [XEON_5218.ceiling(k) for k in (1, 3, 8, 12, 16)] == \
+        [3900, 3700, 3600, 3100, 2800]

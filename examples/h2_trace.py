@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Figure 8/9 scenario: trace the DaCapo h2 database under CFS and Nest.
+
+Runs h2 on the 4-socket Intel 6130 with full tracing, prints an ASCII
+version of the paper's execution traces (which cores ran, how warm they
+were) and the headline comparison: Nest concentrates the work on fewer
+cores and gets higher frequencies.
+
+Run with:  python examples/h2_trace.py
+"""
+
+from repro import get_machine, run_experiment
+from repro.analysis import render_core_trace, render_distribution
+from repro.workloads import DacapoWorkload
+
+MACHINE = get_machine("6130_4s")
+
+
+def main() -> None:
+    print(MACHINE.describe())
+    edges_mhz = [int(e * 1000) for e in (1.0, 1.6, 2.1, 2.8, 3.1, 3.4, 3.7)]
+
+    for scheduler in ("cfs", "nest"):
+        res = run_experiment(DacapoWorkload("h2"), MACHINE, scheduler,
+                             "schedutil", seed=1, record_trace=True)
+        segments = res.trace_segments
+        used_cores = {s.core for s in segments
+                      if s.task_id >= 0 and not s.spinning}
+        print()
+        print(f"=== {scheduler}-schedutil: {res.makespan_sec * 1000:.1f} ms, "
+              f"{len(used_cores)} cores used, "
+              f"underload/s {res.underload.underload_per_second:.2f}")
+        window = min(res.makespan_us, 80_000)
+        print(render_core_trace(segments, 0, window, edges_mhz,
+                                width=72, min_busy_us=2_000))
+        fd = res.freq_dist
+        print(render_distribution("frequency distribution",
+                                  fd.labels(), fd.fractions()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Ablation study: what does each Nest feature contribute?
+
+Reruns the configure and DaCapo scenarios with individual Nest features
+disabled (§5.2/§5.3 of the paper) and with scaled parameters, printing the
+performance delta of each variant against full Nest.
+
+Run with:  python examples/nest_ablation.py
+"""
+
+from repro import NestParams, get_machine, run_experiment
+from repro.analysis import render_bars
+from repro.workloads import ConfigureWorkload, DacapoWorkload
+
+FEATURES = ("reserve", "compaction", "impatience", "spin",
+            "attachment", "wakeup_work_conservation", "placement_flag")
+
+
+def run(workload_factory, machine, params, seed=1):
+    return run_experiment(workload_factory(), machine, "nest", "schedutil",
+                          seed=seed, nest_params=params).makespan_us
+
+
+def ablate(title, workload_factory, machine) -> None:
+    full = run(workload_factory, machine, NestParams())
+    labels, deltas = [], []
+    for feature in FEATURES:
+        t = run(workload_factory, machine, NestParams().without(feature))
+        labels.append(f"no {feature}")
+        deltas.append(full / t - 1)     # negative = variant is slower
+    for name, scaled in (
+        ("P_remove x0.5", NestParams().scaled(p_remove=0.5)),
+        ("P_remove x10", NestParams().scaled(p_remove=10)),
+        ("S_max x0.5", NestParams().scaled(s_max=0.5)),
+        ("S_max x10", NestParams().scaled(s_max=10)),
+        ("R_max x2", NestParams().scaled(r_max=2)),
+    ):
+        t = run(workload_factory, machine, scaled)
+        labels.append(name)
+        deltas.append(full / t - 1)
+    print(render_bars(title + "  (negative = variant slower than full Nest)",
+                      labels, deltas))
+    print()
+
+
+def main() -> None:
+    ablate("configure llvm_ninja on the 2-socket 5218",
+           lambda: ConfigureWorkload("llvm_ninja"), get_machine("5218_2s"))
+    ablate("DaCapo h2 on the 4-socket 6130",
+           lambda: DacapoWorkload("h2"), get_machine("6130_4s"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: run one workload under CFS and Nest and compare.
+
+Builds the paper's flagship scenario — a software-configuration script on
+the 2-socket Intel 5218 — and prints runtime, underload, frequency
+distribution and CPU energy for the four scheduler/governor combinations
+plus the Smove baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import get_machine, run_experiment
+from repro.analysis import render_bars, render_distribution
+from repro.workloads import ConfigureWorkload
+
+MACHINE = get_machine("5218_2s")
+COMBOS = [
+    ("cfs", "schedutil"),
+    ("cfs", "performance"),
+    ("nest", "schedutil"),
+    ("nest", "performance"),
+    ("smove", "schedutil"),
+]
+
+
+def main() -> None:
+    print(MACHINE.describe())
+    print()
+
+    results = {}
+    for scheduler, governor in COMBOS:
+        workload = ConfigureWorkload("llvm_ninja")
+        res = run_experiment(workload, MACHINE, scheduler, governor, seed=1)
+        results[(scheduler, governor)] = res
+        print(res.brief())
+
+    base = results[("cfs", "schedutil")]
+    print()
+    labels, speeds = [], []
+    for combo, res in results.items():
+        if combo == ("cfs", "schedutil"):
+            continue
+        labels.append("-".join(combo))
+        speeds.append(base.makespan_us / res.makespan_us - 1)
+    print(render_bars("Speedup vs CFS-schedutil (llvm_ninja configure)",
+                      labels, speeds))
+
+    print()
+    for combo in (("cfs", "schedutil"), ("nest", "schedutil")):
+        fd = results[combo].freq_dist
+        print(render_distribution(f"busy-time frequency distribution, "
+                                  f"{'-'.join(combo)}",
+                                  fd.labels(), fd.fractions()))
+        print()
+
+    nest = results[("nest", "schedutil")]
+    saving = 1 - nest.energy_joules / base.energy_joules
+    print(f"CPU energy: CFS-schedutil {base.energy_joules:.1f} J -> "
+          f"Nest-schedutil {nest.energy_joules:.1f} J ({saving:+.1%})")
+
+
+if __name__ == "__main__":
+    main()

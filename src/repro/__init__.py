@@ -1,0 +1,39 @@
+"""Reproduction of "OS Scheduling with Nest" (EuroSys 2022).
+
+A discrete-event simulator of Linux task scheduling with a DVFS/turbo
+frequency model, implementing CFS, the paper's Nest policy, and the Smove
+baseline, plus the workloads and harness to regenerate the paper's
+evaluation.  Entry points:
+
+    from repro import run_experiment, compare, get_machine
+    from repro.workloads.configure import ConfigureWorkload
+
+    result = run_experiment(ConfigureWorkload("llvm_ninja"),
+                            get_machine("5218_2s"),
+                            scheduler="nest", governor="schedutil")
+    print(result.brief())
+"""
+
+from .core.nest import NestPolicy
+from .core.params import DEFAULT_PARAMS, NestParams
+from .experiments.runner import (compare, make_governor, make_policy,
+                                 run_experiment)
+from .governors import PerformanceGovernor, SchedutilGovernor
+from .hw.machines import ALL_MACHINES, Machine, PAPER_MACHINES, get_machine
+from .kernel.scheduler_core import Kernel, KernelConfig
+from .metrics.summary import RunResult, speedup
+from .sched.cfs import CfsPolicy
+from .sched.smove import SmovePolicy
+from .sim.engine import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NestPolicy", "NestParams", "DEFAULT_PARAMS",
+    "compare", "run_experiment", "make_policy", "make_governor",
+    "PerformanceGovernor", "SchedutilGovernor",
+    "Machine", "get_machine", "ALL_MACHINES", "PAPER_MACHINES",
+    "Kernel", "KernelConfig", "RunResult", "speedup",
+    "CfsPolicy", "SmovePolicy", "Engine",
+    "__version__",
+]

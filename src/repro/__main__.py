@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,81 @@
+"""ASCII plots for terminal output (traces and bar charts).
+
+The benchmark harness prints Figure 2/3/8-style visualisations with these:
+a per-core activity/frequency trace rendered as rows of characters, a
+horizontal bar chart for speedups, and a stacked distribution bar for the
+frequency histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim.trace import Segment
+
+#: Glyphs from coldest to hottest frequency bin.
+_HEAT = " .:-=+*#%@"
+
+
+def render_core_trace(segments: Sequence[Segment], t0: int, t1: int,
+                      bin_edges_mhz: Sequence[int], width: int = 80,
+                      min_busy_us: int = 0) -> str:
+    """Figure 2/8-style trace: one row per core, one column per time slot,
+    glyph intensity = frequency bin of the running task."""
+    if t1 <= t0:
+        raise ValueError("empty window")
+    slot = (t1 - t0) / width
+    rows: Dict[int, List[str]] = {}
+    busy: Dict[int, int] = {}
+    for seg in segments:
+        if seg.task_id < 0 or seg.spinning:
+            continue
+        if seg.end <= t0 or seg.start >= t1:
+            continue
+        row = rows.setdefault(seg.core, [" "] * width)
+        busy[seg.core] = busy.get(seg.core, 0) + seg.duration
+        level = 1
+        for i, edge in enumerate(bin_edges_mhz):
+            if seg.freq_mhz <= edge:
+                level = i + 1
+                break
+        else:
+            level = len(bin_edges_mhz)
+        glyph = _HEAT[min(len(_HEAT) - 1,
+                          1 + level * (len(_HEAT) - 2) // max(1, len(bin_edges_mhz)))]
+        lo = max(0, int((seg.start - t0) / slot))
+        hi = min(width - 1, int((seg.end - t0) / slot))
+        for x in range(lo, hi + 1):
+            row[x] = glyph
+    lines = []
+    for core in sorted(rows, key=lambda c: -busy.get(c, 0)):
+        if busy.get(core, 0) < min_busy_us:
+            continue
+        lines.append(f"core {core:3d} |{''.join(rows[core])}|")
+    return "\n".join(lines) if lines else "(no activity in window)"
+
+
+def render_bars(title: str, labels: Sequence[str], values: Sequence[float],
+                width: int = 40, unit: str = "%") -> str:
+    """Horizontal bar chart; values may be negative (drawn left of zero)."""
+    if len(labels) != len(values):
+        raise ValueError("label/value mismatch")
+    vmax = max((abs(v) for v in values), default=1.0) or 1.0
+    lines = [title]
+    for label, v in zip(labels, values):
+        n = int(round(abs(v) / vmax * width))
+        bar = ("-" if v < 0 else "+") * n
+        shown = v * 100 if unit == "%" else v
+        lines.append(f"{label:>24s} {shown:+8.1f}{unit} |{bar}")
+    return "\n".join(lines)
+
+
+def render_distribution(title: str, labels: Sequence[str],
+                        fractions: Sequence[float], width: int = 50) -> str:
+    """One stacked bar for a frequency distribution."""
+    cells: List[str] = []
+    for i, frac in enumerate(fractions):
+        glyph = _HEAT[min(len(_HEAT) - 1, 1 + i)]
+        cells.append(glyph * int(round(frac * width)))
+    legend = "  ".join(f"{lab}={frac:.0%}"
+                       for lab, frac in zip(labels, fractions) if frac >= 0.005)
+    return f"{title}\n[{''.join(cells):<{width}}]\n{legend}"

@@ -1,0 +1,68 @@
+"""Statistics helpers used by the benchmark harness (paper §5.1)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sample")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if not values:
+        raise ValueError("empty sample")
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+def relative_stddev(values: Sequence[float]) -> float:
+    """Stddev as a fraction of the mean (the paper's ±X% annotations)."""
+    m = mean(values)
+    if m == 0:
+        raise ValueError("zero mean")
+    return stddev(values) / abs(m)
+
+
+def speedup_of_means(baseline: Sequence[float], candidate: Sequence[float]) -> float:
+    """The paper's speedup: mean(baseline)/mean(candidate) - 1 (for
+    time-like metrics, where smaller is better)."""
+    b, c = mean(baseline), mean(candidate)
+    if c <= 0:
+        raise ValueError("non-positive candidate")
+    return b / c - 1.0
+
+
+def classify_speedup(speedup: float) -> str:
+    """Table 4's banding of test outcomes."""
+    if speedup < -0.20:
+        return "slower by > 20%"
+    if speedup < -0.05:
+        return "slower by (5,20]%"
+    if speedup <= 0.05:
+        return "same"
+    if speedup <= 0.20:
+        return "faster by (5,20]%"
+    return "faster by > 20%"
+
+
+#: Table 4 band labels, in the paper's column order.
+SPEEDUP_BANDS = (
+    "slower by > 20%",
+    "slower by (5,20]%",
+    "same",
+    "faster by (5,20]%",
+    "faster by > 20%",
+)
+
+
+def band_counts(speedups: Sequence[float]) -> dict:
+    """Count tests per Table 4 band."""
+    out = {band: 0 for band in SPEEDUP_BANDS}
+    for s in speedups:
+        out[classify_speedup(s)] += 1
+    return out

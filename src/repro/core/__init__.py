@@ -1,0 +1,6 @@
+"""The paper's contribution: the Nest policy and its parameters."""
+
+from .nest import NestPolicy
+from .params import DEFAULT_PARAMS, NestParams
+
+__all__ = ["NestPolicy", "NestParams", "DEFAULT_PARAMS"]

@@ -1,0 +1,230 @@
+"""The Nest scheduling policy (paper §3).
+
+Nest maintains two sets of cores:
+
+* the **primary nest** — cores in use or recently used, searched first;
+* the **reserve nest** — cores that left the primary nest or that CFS chose
+  recently, bounded at ``R_max`` entries.
+
+The search path on fork/wakeup is primary → reserve → CFS (Figure 1, red
+arrows); core movement between the nests follows the blue arrows: reserve
+hits are promoted, CFS picks enter the reserve, unused primary cores are
+demoted when a task next trips over them (compaction), and a core whose task
+exits is demoted immediately.  Impatient tasks (too many previous-core
+collisions) skip the primary nest and their chosen core is promoted
+directly, growing the nest.  See DESIGN.md for the mapping to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..kernel.task import Task
+from ..sim.clock import TICK_US
+from .params import DEFAULT_PARAMS, NestParams
+from ..sched.base import SelectionPolicy
+from ..sched.cfs import CfsPolicy, _rotate
+
+
+class NestPolicy(SelectionPolicy):
+    """Nest placement wrapping CFS (most of the paper's patch sits in front
+    of CFS's core-selection function, §7)."""
+
+    #: Nest adds a block of code to core selection (§3.4/§5.6), so its
+    #: per-selection cost is higher than stock CFS.
+    selection_cost_us = 3
+
+    def __init__(self, params: NestParams = DEFAULT_PARAMS) -> None:
+        super().__init__()
+        self.params = params
+        self.primary: Set[int] = set()
+        self.reserve: Set[int] = set()
+        self.home_cpu: Optional[int] = None
+        self._cfs = CfsPolicy()
+        # Statistics (exposed for tests and the ablation benches).
+        self.stats = {
+            "primary_hits": 0, "reserve_hits": 0, "cfs_fallbacks": 0,
+            "attachment_hits": 0, "compactions": 0, "exit_demotions": 0,
+            "impatient_placements": 0,
+        }
+
+    def on_bind(self) -> None:
+        self._cfs.kernel = self.kernel
+        self._cfs.check_pending_default = self.params.placement_flag
+
+    @property
+    def name(self) -> str:
+        return "Nest"
+
+    # ------------------------------------------------------------------
+    # Selection entry points
+    # ------------------------------------------------------------------
+
+    def select_cpu_fork(self, task: Task, parent_cpu: int) -> int:
+        if self.home_cpu is None:
+            # The paper starts reserve searches from the core on which the
+            # system call that enabled Nest ran.
+            self.home_cpu = parent_cpu
+        return self._select(task, start=parent_cpu, is_fork=True)
+
+    def select_cpu_wakeup(self, task: Task, waker_cpu: int) -> int:
+        start = task.prev_cpu if task.prev_cpu is not None else waker_cpu
+        if self.home_cpu is None:
+            self.home_cpu = waker_cpu
+        if self.params.impatience_enabled and task.prev_cpu is not None:
+            if self._idle(task.prev_cpu):
+                task.impatience = 0
+            else:
+                task.impatience += 1
+        return self._select(task, start=start, is_fork=False,
+                            waker_cpu=waker_cpu)
+
+    # ------------------------------------------------------------------
+    # The §3 search
+    # ------------------------------------------------------------------
+
+    def _select(self, task: Task, start: int, is_fork: bool,
+                waker_cpu: Optional[int] = None) -> int:
+        p = self.params
+
+        # §3.3: the first choice is always the attached core, if it is in
+        # the primary nest and idle — even if it is compaction-eligible.
+        if p.attachment_enabled and not is_fork:
+            ac = task.attached_core
+            if ac is not None and ac in self.primary and self._idle(ac):
+                self.stats["attachment_hits"] += 1
+                task.impatience = 0
+                return ac
+
+        impatient = (p.impatience_enabled
+                     and task.impatience >= p.r_impatient and not is_fork)
+
+        if not impatient:
+            cpu = self._search_primary(start, task, is_fork)
+            if cpu is not None:
+                self.stats["primary_hits"] += 1
+                return cpu
+
+        if p.reserve_enabled:
+            cpu = self._search_reserve(start)
+            if cpu is not None:
+                self.reserve.discard(cpu)
+                self.primary.add(cpu)
+                self.stats["reserve_hits"] += 1
+                if impatient:
+                    self.stats["impatient_placements"] += 1
+                    task.impatience = 0
+                return cpu
+
+        # Fall back on CFS (with Nest's §3.4 wakeup work conservation).
+        self.stats["cfs_fallbacks"] += 1
+        if is_fork:
+            cpu = self._cfs.select_cpu_fork(task, start)
+        else:
+            target = self._cfs._wake_affine(
+                task, start, waker_cpu if waker_cpu is not None else start)
+            cpu = self._cfs.select_idle_sibling(
+                target,
+                all_dies=p.wakeup_work_conservation,
+                check_pending=p.placement_flag)
+
+        if impatient:
+            # §3.1: the chosen core joins the primary nest directly, to
+            # expand it, and the impatience counter resets.
+            self.reserve.discard(cpu)
+            self.primary.add(cpu)
+            self.stats["impatient_placements"] += 1
+            task.impatience = 0
+        elif cpu not in self.primary and cpu not in self.reserve:
+            if p.reserve_enabled and len(self.reserve) < p.r_max:
+                self.reserve.add(cpu)
+            # else: reserve full -> the core joins no nest (§3.1).
+        return cpu
+
+    def _search_primary(self, start: int, task: Task,
+                        is_fork: bool) -> Optional[int]:
+        """Idle-core search over the primary nest, same-die first, with
+        compaction of stale cores encountered along the way (§3.1)."""
+        if not self.primary:
+            return None
+        p = self.params
+        kernel = self.kernel
+        topo = kernel.topology
+        now = kernel.engine.now
+        stale_cutoff_us = int(p.p_remove_ticks * TICK_US)
+
+        start_die = topo.die_of(start)
+        same_die = [c for c in self.primary if topo.die_of(c) == start_die]
+        other = [c for c in self.primary if topo.die_of(c) != start_die]
+        candidates = list(_rotate(tuple(same_die), start)) + sorted(other)
+
+        prefer = []
+        if p.prev_core_first and not is_fork and task.prev_cpu is not None \
+                and task.prev_cpu in self.primary:
+            prefer = [task.prev_cpu]
+
+        for cpu in prefer + candidates:
+            if not self._idle(cpu):
+                continue
+            if p.compaction_enabled and cpu not in prefer:
+                idle_for = now - kernel.cpu_last_used(cpu)
+                if idle_for >= stale_cutoff_us:
+                    # §3.1: a task tried to use a stale core -> demote it.
+                    self._demote(cpu)
+                    continue
+            return cpu
+        return None
+
+    def _search_reserve(self, start: int) -> Optional[int]:
+        """Idle-core search over the reserve nest, same-die-as-start first,
+        scanning from the fixed home core to limit dispersal (§3.1)."""
+        if not self.reserve:
+            return None
+        topo = self.kernel.topology
+        home = self.home_cpu if self.home_cpu is not None else start
+        start_die = topo.die_of(start)
+        same_die = [c for c in self.reserve if topo.die_of(c) == start_die]
+        other = [c for c in self.reserve if topo.die_of(c) != start_die]
+        for cpu in list(_rotate(tuple(same_die), home)) \
+                + list(_rotate(tuple(other), home)):
+            if self._idle(cpu):
+                return cpu
+        return None
+
+    # ------------------------------------------------------------------
+    # Nest maintenance hooks
+    # ------------------------------------------------------------------
+
+    def on_enqueue(self, task: Task, cpu: int) -> None:
+        """Any cpu that actually receives work is useful: keep nest state
+        consistent if the balancer moved a task onto an unnested core."""
+
+    def on_exit_idle(self, cpu: int) -> None:
+        """§3.1: a task terminated and left the core idle — the core is no
+        longer considered useful and is demoted immediately."""
+        if cpu in self.primary and self.kernel.cpu_is_idle(cpu):
+            self._demote(cpu)
+            self.stats["exit_demotions"] += 1
+
+    def _demote(self, cpu: int) -> None:
+        self.primary.discard(cpu)
+        if self.params.reserve_enabled and len(self.reserve) < self.params.r_max:
+            self.reserve.add(cpu)
+        self.stats["compactions"] += 1
+
+    def spin_ticks(self) -> float:
+        return self.params.s_max_ticks if self.params.spin_enabled else 0.0
+
+    # ------------------------------------------------------------------
+
+    def _idle(self, cpu: int) -> bool:
+        """Idle and not targeted by an in-flight placement (§3.4 flag)."""
+        if not self.kernel.cpu_is_idle(cpu):
+            return False
+        if self.params.placement_flag \
+                and self.kernel.rqs[cpu].placement_pending > 0:
+            return False
+        return True
+
+    def nest_sizes(self) -> tuple[int, int]:
+        return len(self.primary), len(self.reserve)

@@ -1,0 +1,71 @@
+"""Nest parameters (paper Table 1) and feature toggles for the ablations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NestParams:
+    """Table 1 values, plus per-feature switches used by §5.2/§5.3 ablations.
+
+    The paper's ablation study multiplies each threshold by 0.5, 2 or 10 and
+    removes features one at a time; :meth:`scaled` and the ``*_enabled``
+    flags support exactly that.
+    """
+
+    #: Ticks before an unused primary-nest core becomes eligible for nest
+    #: compaction (Table 1: 2 ticks = 8 ms).
+    p_remove_ticks: float = 2.0
+
+    #: Maximum number of cores in the reserve nest (Table 1: 5).
+    r_max: int = 5
+
+    #: Successive previous-core placement failures tolerated before a task
+    #: turns impatient and the primary nest is expanded (Table 1: 2).
+    r_impatient: int = 2
+
+    #: Maximum idle-loop spin duration in ticks (Table 1: 2 ticks = 8 ms).
+    s_max_ticks: float = 2.0
+
+    # ---- feature switches (all on in the paper's full system) -------------
+    reserve_enabled: bool = True          # §3.1 reserve nest
+    compaction_enabled: bool = True       # §3.1 nest compaction
+    impatience_enabled: bool = True       # §3.1 impatient tasks
+    spin_enabled: bool = True             # §3.2 warm-core spinning
+    attachment_enabled: bool = True       # §3.3 task->core attachment
+    prev_core_first: bool = True          # §3.3 favour the previous core
+    wakeup_work_conservation: bool = True  # §3.4 all-die wakeup search
+    placement_flag: bool = True           # §3.4 compare-and-swap flag
+
+    def __post_init__(self) -> None:
+        if self.p_remove_ticks < 0 or self.s_max_ticks < 0:
+            raise ValueError("negative tick thresholds")
+        if self.r_max < 0 or self.r_impatient < 0:
+            raise ValueError("negative counters")
+
+    def scaled(self, *, p_remove: float = 1.0, r_max: float = 1.0,
+               r_impatient: float = 1.0, s_max: float = 1.0) -> "NestParams":
+        """Multiply chosen parameters, as in the §5.2 sensitivity study."""
+        return replace(
+            self,
+            p_remove_ticks=self.p_remove_ticks * p_remove,
+            r_max=max(0, round(self.r_max * r_max)),
+            r_impatient=max(0, round(self.r_impatient * r_impatient)),
+            s_max_ticks=self.s_max_ticks * s_max,
+        )
+
+    def without(self, feature: str) -> "NestParams":
+        """Disable one named feature (ablation helper).
+
+        Accepts either the bare feature name (``"reserve"``, ``"spin"``,
+        ``"wakeup_work_conservation"``...) or the full flag name.
+        """
+        for flag in (f"{feature}_enabled", feature):
+            if hasattr(self, flag) and isinstance(getattr(self, flag), bool):
+                return replace(self, **{flag: False})
+        raise ValueError(f"unknown feature {feature!r}")
+
+
+#: The configuration evaluated in the paper.
+DEFAULT_PARAMS = NestParams()

@@ -1,0 +1,162 @@
+"""Command-line interface: run experiments without writing Python.
+
+Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
+
+    python -m repro list                 # machines, workloads, experiments
+    python -m repro run --workload configure-llvm_ninja \
+        --machine 5218_2s --scheduler nest --governor schedutil
+    python -m repro compare --workload dacapo-h2 --machine 6130_4s
+    python -m repro describe fig5        # registry entry for an artefact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis.tables import pct, render_table
+from ..hw.machines import ALL_MACHINES, get_machine
+from ..workloads.base import Workload
+from ..workloads.configure import ConfigureWorkload, configure_names
+from ..workloads.dacapo import DacapoWorkload, dacapo_names
+from ..workloads.messaging import HackbenchWorkload
+from ..workloads.nas import NasWorkload, nas_names
+from ..workloads.phoronix import PhoronixWorkload, fig13_names
+from ..workloads.servers import leveldb, nginx, redis
+from .registry import EXPERIMENTS, get_experiment
+from .runner import STANDARD_COMBOS, compare, run_experiment
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build a workload from its canonical name (see ``list``)."""
+    if name.startswith("configure-"):
+        return ConfigureWorkload(name.removeprefix("configure-"), scale=scale)
+    if name.startswith("dacapo-"):
+        return DacapoWorkload(name.removeprefix("dacapo-"), scale=scale)
+    if name.startswith("nas-"):
+        kern = name.removeprefix("nas-").removesuffix(".C")
+        return NasWorkload(kern, scale=scale)
+    if name.startswith("phoronix-"):
+        return PhoronixWorkload(name.removeprefix("phoronix-"), scale=scale)
+    if name == "hackbench":
+        return HackbenchWorkload()
+    simple = {"nginx": nginx, "leveldb": leveldb, "redis": redis}
+    if name in simple:
+        return simple[name]()
+    raise KeyError(f"unknown workload {name!r}; try 'list'")
+
+
+def workload_names() -> List[str]:
+    out = [f"configure-{n}" for n in configure_names()]
+    out += [f"dacapo-{n}" for n in dacapo_names()]
+    out += [f"nas-{n}" for n in nas_names()]
+    out += [f"phoronix-{n}" for n in fig13_names()]
+    out += ["hackbench", "nginx", "leveldb", "redis"]
+    return out
+
+
+def _cmd_list(args) -> int:
+    print("machines:")
+    for key, m in ALL_MACHINES.items():
+        print(f"  {key:12s} {m.describe()}")
+    print("\nworkloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("\nexperiments (registry):")
+    for exp_id, exp in EXPERIMENTS.items():
+        print(f"  {exp_id:20s} {exp.artefact}: {exp.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    wl = make_workload(args.workload, scale=args.scale)
+    res = run_experiment(wl, get_machine(args.machine), args.scheduler,
+                         args.governor, seed=args.seed)
+    print(res.brief())
+    if args.verbose and res.freq_dist is not None:
+        for label, frac in res.freq_dist.as_dict().items():
+            if frac >= 0.005:
+                print(f"  {label}: {frac:.1%}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cmp = compare(lambda: make_workload(args.workload, scale=args.scale),
+                  get_machine(args.machine), combos=STANDARD_COMBOS,
+                  seeds=tuple(range(1, args.seeds + 1)))
+    rows = []
+    for (sched, gov), stats in cmp.combos.items():
+        rows.append([
+            stats.label,
+            f"{stats.mean_makespan_us / 1e6:.4f}s",
+            pct(cmp.speedup_of(sched, gov)),
+            f"{stats.mean_energy_j:.1f}J",
+            pct(cmp.energy_savings_of(sched, gov)),
+            f"{stats.mean_underload_per_s:.2f}",
+        ])
+    print(render_table(
+        ["scheduler", "time", "speedup", "energy", "savings", "underload/s"],
+        rows, title=f"{cmp.workload} on {cmp.machine} "
+                    f"({args.seeds} seeds, vs CFS-schedutil)"))
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    exp = get_experiment(args.experiment)
+    print(f"{exp.artefact}: {exp.description}")
+    print(f"  bench:     {exp.bench}")
+    print(f"  machines:  {', '.join(exp.machines) or '-'}")
+    print(f"  combos:    {', '.join('-'.join(c) for c in exp.combos) or '-'}")
+    print(f"  expected:  {exp.expected_shape}")
+    if exp.workloads:
+        print(f"  workloads: {', '.join(exp.workloads)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="nest-repro",
+        description="Reproduction of 'OS Scheduling with Nest' (EuroSys'22)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list machines, workloads, experiments") \
+       .set_defaults(fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--workload", required=True)
+    run_p.add_argument("--machine", default="5218_2s")
+    run_p.add_argument("--scheduler", default="nest",
+                       choices=["cfs", "nest", "smove"])
+    run_p.add_argument("--governor", default="schedutil",
+                       choices=["schedutil", "performance"])
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--verbose", action="store_true")
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare",
+                           help="compare schedulers on one workload")
+    cmp_p.add_argument("--workload", required=True)
+    cmp_p.add_argument("--machine", default="5218_2s")
+    cmp_p.add_argument("--seeds", type=int, default=3)
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    desc_p = sub.add_parser("describe", help="show a registry entry")
+    desc_p.add_argument("experiment")
+    desc_p.set_defaults(fn=_cmd_describe)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

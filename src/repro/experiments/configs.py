@@ -1,0 +1,36 @@
+"""Canonical experiment configurations.
+
+The benchmark harness keeps its knobs here so tests, examples and benches
+agree on scales and seeds.  ``FAST`` trims repetition for CI-style runs;
+``FULL`` mirrors the paper's procedure more closely (more seeds, larger
+workload scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Repetition and scale settings for a benchmark campaign."""
+
+    seeds: Tuple[int, ...]
+    workload_scale: float      # multiplier on workload sizes
+    machines: Tuple[str, ...]  # machine keys to sweep
+
+
+#: Quick mode: used by the pytest benchmarks so the whole suite stays
+#: tractable on a laptop.
+FAST = HarnessConfig(seeds=(1, 2), workload_scale=0.6,
+                     machines=("5218_2s", "e78870_4s"))
+
+#: Standard mode: all four paper machines, three seeds.
+STANDARD = HarnessConfig(seeds=(1, 2, 3), workload_scale=1.0,
+                         machines=("6130_2s", "6130_4s", "5218_2s",
+                                   "e78870_4s"))
+
+#: Full mode: closest to the paper's 10-run procedure.
+FULL = HarnessConfig(seeds=tuple(range(1, 11)), workload_scale=1.0,
+                     machines=("6130_2s", "6130_4s", "5218_2s", "e78870_4s"))

@@ -1,0 +1,206 @@
+"""Experiment harness: run (workload × machine × scheduler × governor).
+
+This is the equivalent of the artifact's ``run_everything`` scripts: it
+builds a fresh simulator for every run, wires up the measurement sinks, runs
+to completion and returns a :class:`RunResult`.  ``compare`` evaluates a set
+of scheduler/governor combinations against the paper's baseline
+(CFS-schedutil) over several seeds, producing the speedup/error-bar numbers
+plotted in Figures 5-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.nest import NestPolicy
+from ..core.params import DEFAULT_PARAMS, NestParams
+from ..governors.base import Governor
+from ..governors.performance import PerformanceGovernor
+from ..governors.schedutil import SchedutilGovernor
+from ..hw.machines import Machine
+from ..kernel.scheduler_core import Kernel, KernelConfig
+from ..metrics.freqdist import FreqDistribution
+from ..metrics.summary import (RunResult, energy_savings, improvement_stddev,
+                               speedup)
+from ..metrics.underload import UnderloadTracker
+from ..sched.base import SelectionPolicy
+from ..sched.cfs import CfsPolicy
+from ..sched.smove import SmovePolicy
+from ..sim.engine import Engine
+from ..sim.trace import Tracer
+from ..workloads.base import Workload
+
+#: The paper's baseline combination (§5.1).
+BASELINE = ("cfs", "schedutil")
+
+#: The combinations most figures sweep.
+STANDARD_COMBOS: Tuple[Tuple[str, str], ...] = (
+    ("cfs", "schedutil"),
+    ("cfs", "performance"),
+    ("nest", "schedutil"),
+    ("nest", "performance"),
+)
+
+
+def make_policy(name: str, nest_params: Optional[NestParams] = None) -> SelectionPolicy:
+    """Instantiate a selection policy by short name."""
+    key = name.lower()
+    if key == "cfs":
+        return CfsPolicy()
+    if key == "nest":
+        return NestPolicy(nest_params or DEFAULT_PARAMS)
+    if key == "smove":
+        return SmovePolicy()
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def make_governor(name: str) -> Governor:
+    """Instantiate a power governor by short name."""
+    key = name.lower()
+    if key in ("schedutil", "sched"):
+        return SchedutilGovernor()
+    if key in ("performance", "perf"):
+        return PerformanceGovernor()
+    raise ValueError(f"unknown governor {name!r}")
+
+
+def run_experiment(
+    workload: Workload,
+    machine: Machine,
+    scheduler: str = "cfs",
+    governor: str = "schedutil",
+    seed: int = 0,
+    nest_params: Optional[NestParams] = None,
+    record_trace: bool = False,
+    max_us: Optional[int] = None,
+    kernel_config: Optional[KernelConfig] = None,
+) -> RunResult:
+    """Run one simulation to completion and collect its measurements."""
+    engine = Engine(seed)
+    tracer = Tracer(machine.n_cpus, record_segments=record_trace)
+    policy = make_policy(scheduler, nest_params)
+    gov = make_governor(governor)
+    kernel = Kernel(engine, machine, policy, gov,
+                    config=kernel_config, tracer=tracer)
+
+    under = UnderloadTracker()
+    tracer.add_sink(under.segment_sink)
+    kernel.runnable_observers.append(under.runnable_sink)
+    fdist = FreqDistribution(machine)
+    tracer.add_sink(fdist.segment_sink)
+
+    workload.start(kernel)
+    end = kernel.run_until_idle(max_us)
+
+    tasks = kernel.tasks.values()
+    result = RunResult(
+        scheduler=policy.name,
+        governor=gov.name,
+        machine=machine.name,
+        workload=workload.name,
+        seed=seed,
+        makespan_us=end,
+        energy_joules=kernel.energy.energy_joules,
+        underload=under.finalize(end),
+        freq_dist=fdist,
+        n_tasks=len(kernel.tasks),
+        n_migrations=sum(t.n_migrations for t in tasks),
+        total_wakeups=sum(t.n_wakeups for t in tasks),
+        wakeup_latency_us=sum(t.wakeup_latency_us for t in tasks),
+        policy_stats=dict(getattr(policy, "stats", {})),
+    )
+    if record_trace:
+        result.extra["n_segments"] = float(len(tracer.segments))
+        result.trace_segments = tracer.segments  # type: ignore[attr-defined]
+    return result
+
+
+@dataclass
+class ComboStats:
+    """Aggregate over the seeds of one scheduler/governor combination."""
+
+    scheduler: str
+    governor: str
+    makespans_us: List[int] = field(default_factory=list)
+    energies_j: List[float] = field(default_factory=list)
+    underload_per_s: List[float] = field(default_factory=list)
+    top_freq_fraction: List[float] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheduler}-{self.governor}"
+
+    @property
+    def mean_makespan_us(self) -> float:
+        return sum(self.makespans_us) / len(self.makespans_us)
+
+    @property
+    def mean_energy_j(self) -> float:
+        return sum(self.energies_j) / len(self.energies_j)
+
+    @property
+    def mean_underload_per_s(self) -> float:
+        return sum(self.underload_per_s) / len(self.underload_per_s)
+
+    @property
+    def mean_top_freq(self) -> float:
+        return sum(self.top_freq_fraction) / len(self.top_freq_fraction)
+
+
+@dataclass
+class Comparison:
+    """Speedups of each combination against the CFS-schedutil baseline."""
+
+    workload: str
+    machine: str
+    combos: Dict[Tuple[str, str], ComboStats]
+
+    @property
+    def baseline(self) -> ComboStats:
+        return self.combos[BASELINE]
+
+    def speedup_of(self, scheduler: str, governor: str) -> float:
+        cand = self.combos[(scheduler, governor)]
+        return speedup(self.baseline.makespans_us, cand.makespans_us)
+
+    def energy_savings_of(self, scheduler: str, governor: str) -> float:
+        cand = self.combos[(scheduler, governor)]
+        return energy_savings(self.baseline.energies_j, cand.energies_j)
+
+    def error_bar_of(self, scheduler: str, governor: str) -> float:
+        cand = self.combos[(scheduler, governor)]
+        return improvement_stddev(self.baseline.mean_makespan_us,
+                                  [float(v) for v in cand.makespans_us])
+
+    def underload_of(self, scheduler: str, governor: str) -> float:
+        return self.combos[(scheduler, governor)].mean_underload_per_s
+
+
+def compare(
+    workload_factory: Callable[[], Workload],
+    machine: Machine,
+    combos: Sequence[Tuple[str, str]] = STANDARD_COMBOS,
+    seeds: Sequence[int] = (1, 2, 3),
+    nest_params: Optional[NestParams] = None,
+    max_us: Optional[int] = None,
+    kernel_config: Optional[KernelConfig] = None,
+) -> Comparison:
+    """Run every combo over every seed; the paper's Figure 5-13 procedure."""
+    stats: Dict[Tuple[str, str], ComboStats] = {}
+    wl_name = None
+    for scheduler, governor in combos:
+        cs = ComboStats(scheduler, governor)
+        for seed in seeds:
+            wl = workload_factory()
+            wl_name = wl.name
+            res = run_experiment(wl, machine, scheduler, governor, seed,
+                                 nest_params=nest_params, max_us=max_us,
+                                 kernel_config=kernel_config)
+            cs.makespans_us.append(res.makespan_us)
+            cs.energies_j.append(res.energy_joules)
+            cs.underload_per_s.append(res.underload.underload_per_second)
+            cs.top_freq_fraction.append(res.freq_dist.top_bins_fraction())
+        stats[(scheduler, governor)] = cs
+    return Comparison(workload=wl_name or "?", machine=machine.name,
+                      combos=stats)

@@ -1,0 +1,7 @@
+"""Linux power governors: performance and schedutil (paper SS2.3)."""
+
+from .base import Governor
+from .performance import PerformanceGovernor
+from .schedutil import HEADROOM, SchedutilGovernor
+
+__all__ = ["Governor", "PerformanceGovernor", "SchedutilGovernor", "HEADROOM"]

@@ -1,0 +1,49 @@
+"""The schedutil governor (paper §2.3).
+
+Schedutil couples the frequency request to the scheduler's utilisation
+signal: ``f = C * f_max * util / util_max`` with C = 1.25 headroom, exactly
+the kernel's ``get_next_freq``.  A cpu whose runqueue has been busy recently
+requests a high frequency; a cpu that has been idle for a while — or that
+just received its first short-lived task — requests a low one.  This is the
+governor under which CFS's task-scattering hurts: every placement on a
+long-idle core restarts from a low request (and a low actual frequency).
+"""
+
+from __future__ import annotations
+
+from ..kernel.pelt import PELT_MAX
+from .base import Governor
+
+#: Headroom multiplier used by the kernel ("1.25 * max * util / max_cap").
+HEADROOM = 1.25
+
+
+class SchedutilGovernor(Governor):
+    """Utilisation-driven frequency requests with the full range allowed."""
+
+    def floor_mhz(self, cpu: int) -> int:
+        return self.kernel.machine.min_mhz
+
+    def request_mhz(self, cpu: int) -> int:
+        kernel = self.kernel
+        now = kernel.engine.now
+        rq = kernel.rqs[cpu]
+        # Running average of cpu activity...
+        util = rq.util(now)
+        # ...bumped immediately by the utilisation estimates of the tasks
+        # now attached to the cpu (the kernel's util_est): a wakeup of a
+        # known-busy task raises the request without waiting for PELT.
+        est = 0.0
+        current = kernel.cpus[cpu].current
+        if current is not None:
+            est += max(current.util_est, current.pelt.peek(now, True))
+        for t in rq.queued_tasks():
+            est += t.util_est
+        util = max(util, min(PELT_MAX, est))
+        f = HEADROOM * kernel.machine.max_turbo_mhz * util / PELT_MAX
+        return max(kernel.machine.min_mhz,
+                   min(kernel.machine.max_turbo_mhz, int(f)))
+
+    @property
+    def name(self) -> str:
+        return "schedutil"

@@ -1,0 +1,18 @@
+"""Hardware substrate: topology, turbo tables, DVFS, energy, machines."""
+
+from .energy import EnergyMeter, PowerParams
+from .freqmodel import AMD_BOOST, FreqModel, PMParams, SPEED_SHIFT, SPEED_STEP
+from .machines import (ALL_MACHINES, E7_8870_V4_4S, Machine, PAPER_MACHINES,
+                       RYZEN_4650G_1S, XEON_5218_2S, XEON_5220_1S,
+                       XEON_6130_2S, XEON_6130_4S, get_machine)
+from .topology import Topology
+from .turbo import TurboTable
+
+__all__ = [
+    "EnergyMeter", "PowerParams",
+    "FreqModel", "PMParams", "SPEED_SHIFT", "SPEED_STEP", "AMD_BOOST",
+    "Machine", "get_machine", "ALL_MACHINES", "PAPER_MACHINES",
+    "E7_8870_V4_4S", "XEON_6130_2S", "XEON_6130_4S", "XEON_5218_2S",
+    "XEON_5220_1S", "RYZEN_4650G_1S",
+    "Topology", "TurboTable",
+]

@@ -1,0 +1,139 @@
+"""Machine catalogue (paper Table 2 plus the §5.6 mono-socket machines)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from . import turbo as turbo_tables
+from .energy import PowerParams
+from .freqmodel import AMD_BOOST, PMParams, SPEED_SHIFT, SPEED_STEP
+from .topology import Topology
+from .turbo import TurboTable
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete hardware description usable by the simulator."""
+
+    name: str
+    cpu_model: str
+    microarchitecture: str
+    topology: Topology
+    turbo: TurboTable
+    pm: PMParams
+    power: PowerParams = field(default_factory=PowerParams)
+
+    @property
+    def n_cpus(self) -> int:
+        return self.topology.n_cpus
+
+    @property
+    def min_mhz(self) -> int:
+        return self.turbo.min_mhz
+
+    @property
+    def nominal_mhz(self) -> int:
+        return self.turbo.nominal_mhz
+
+    @property
+    def max_turbo_mhz(self) -> int:
+        return self.turbo.max_turbo_mhz
+
+    def describe(self) -> str:
+        t = self.turbo
+        return (f"{self.name}: {self.cpu_model} ({self.microarchitecture}), "
+                f"{self.topology.describe()}, "
+                f"{t.min_mhz / 1000:.1f}-{t.nominal_mhz / 1000:.1f} GHz "
+                f"(turbo {t.max_turbo_mhz / 1000:.1f} GHz), {self.pm.name}")
+
+
+# ---- Table 2 machines -------------------------------------------------------
+
+#: 4-socket Intel Xeon E7-8870 v4 (Broadwell), 4x20x2 = 160 hw threads.
+E7_8870_V4_4S = Machine(
+    name="160-core Intel E7-8870 v4",
+    cpu_model="Intel Xeon E7-8870 v4",
+    microarchitecture="Broadwell",
+    topology=Topology(n_sockets=4, cores_per_socket=20, smt=2),
+    turbo=turbo_tables.E7_8870_V4,
+    pm=SPEED_STEP,
+    power=PowerParams(uncore_watts=24.0),
+)
+
+#: 2-socket Intel Xeon Gold 6130 (Skylake), 2x16x2 = 64 hw threads.
+XEON_6130_2S = Machine(
+    name="64-core Intel 6130",
+    cpu_model="Intel Xeon Gold 6130",
+    microarchitecture="Skylake",
+    topology=Topology(n_sockets=2, cores_per_socket=16, smt=2),
+    turbo=turbo_tables.XEON_6130,
+    pm=SPEED_SHIFT,
+)
+
+#: 4-socket Intel Xeon Gold 6130 (Skylake), 4x16x2 = 128 hw threads.
+XEON_6130_4S = Machine(
+    name="128-core Intel 6130",
+    cpu_model="Intel Xeon Gold 6130",
+    microarchitecture="Skylake",
+    topology=Topology(n_sockets=4, cores_per_socket=16, smt=2),
+    turbo=turbo_tables.XEON_6130,
+    pm=SPEED_SHIFT,
+)
+
+#: 2-socket Intel Xeon Gold 5218 (Cascade Lake), 2x16x2 = 64 hw threads.
+XEON_5218_2S = Machine(
+    name="64-core Intel 5218",
+    cpu_model="Intel Xeon Gold 5218",
+    microarchitecture="Cascade Lake",
+    topology=Topology(n_sockets=2, cores_per_socket=16, smt=2),
+    turbo=turbo_tables.XEON_5218,
+    pm=SPEED_SHIFT,
+)
+
+# ---- §5.6 mono-socket machines ----------------------------------------------
+
+#: 1-socket Intel Xeon Gold 5220 (Cascade Lake), 36 hw threads.
+XEON_5220_1S = Machine(
+    name="36-core Intel 5220",
+    cpu_model="Intel Xeon Gold 5220",
+    microarchitecture="Cascade Lake",
+    topology=Topology(n_sockets=1, cores_per_socket=18, smt=2),
+    turbo=turbo_tables.XEON_5220,
+    pm=SPEED_SHIFT,
+)
+
+#: 1-socket AMD Ryzen 5 PRO 4650G, 12 hw threads.
+RYZEN_4650G_1S = Machine(
+    name="12-core AMD Ryzen 5 PRO 4650G",
+    cpu_model="AMD Ryzen 5 PRO 4650G",
+    microarchitecture="Zen 2",
+    topology=Topology(n_sockets=1, cores_per_socket=6, smt=2),
+    turbo=turbo_tables.RYZEN_4650G,
+    pm=AMD_BOOST,
+    power=PowerParams(uncore_watts=10.0),
+)
+
+#: The four Table 2 evaluation machines, in the paper's figure order.
+PAPER_MACHINES: Dict[str, Machine] = {
+    "6130_2s": XEON_6130_2S,
+    "6130_4s": XEON_6130_4S,
+    "5218_2s": XEON_5218_2S,
+    "e78870_4s": E7_8870_V4_4S,
+}
+
+#: Every modelled machine, including the §5.6 mono-socket boxes.
+ALL_MACHINES: Dict[str, Machine] = {
+    **PAPER_MACHINES,
+    "5220_1s": XEON_5220_1S,
+    "ryzen_4650g": RYZEN_4650G_1S,
+}
+
+
+def get_machine(name: str) -> Machine:
+    """Look up a machine by its short key (e.g. ``"6130_2s"``)."""
+    try:
+        return ALL_MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(ALL_MACHINES)}") from None

@@ -1,0 +1,110 @@
+"""Machine topology: sockets, physical cores, SMT hardware threads.
+
+Follows the paper's terminology (§1, Terminology): a "core" is a hardware
+thread; two hardware threads sharing a physical core are "hyperthreads" of
+each other; all cores sharing a last-level cache are "on the same die".  On
+every machine in the paper a die coincides with a socket.
+
+CPU numbering mirrors Linux on the Intel testbed: hardware threads
+``0 .. S*C-1`` are the first thread of each physical core, socket-major, and
+threads ``S*C .. 2*S*C-1`` are their SMT siblings in the same order.  E.g. on
+the 2-socket 6130 (2x16x2): cpus 0-15 are socket 0, 16-31 socket 1, 32-47 the
+socket-0 siblings, 48-63 the socket-1 siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Immutable description of the processor layout."""
+
+    n_sockets: int
+    cores_per_socket: int       # physical cores per socket
+    smt: int = 2                # hardware threads per physical core
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("topology must have at least one core")
+        if self.smt not in (1, 2):
+            raise ValueError("only SMT1 and SMT2 are modelled")
+
+    # ---- counts -----------------------------------------------------------
+
+    @property
+    def n_physical_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def n_cpus(self) -> int:
+        """Total number of hardware threads (the paper's 'cores')."""
+        return self.n_physical_cores * self.smt
+
+    # ---- per-cpu lookups --------------------------------------------------
+
+    def socket_of(self, cpu: int) -> int:
+        self._check(cpu)
+        return (cpu % self.n_physical_cores) // self.cores_per_socket
+
+    def physical_core_of(self, cpu: int) -> int:
+        """Physical-core index in [0, n_physical_cores)."""
+        self._check(cpu)
+        return cpu % self.n_physical_cores
+
+    def thread_of(self, cpu: int) -> int:
+        """SMT thread index (0 or 1) of this hardware thread."""
+        self._check(cpu)
+        return cpu // self.n_physical_cores
+
+    def sibling_of(self, cpu: int) -> int:
+        """The other hardware thread on the same physical core.
+
+        On SMT1 machines a cpu is its own sibling (matching the kernel's
+        cpu_smt_mask semantics of a singleton mask).
+        """
+        self._check(cpu)
+        if self.smt == 1:
+            return cpu
+        npc = self.n_physical_cores
+        return cpu - npc if cpu >= npc else cpu + npc
+
+    def die_of(self, cpu: int) -> int:
+        """Die index (== socket on all modelled machines)."""
+        return self.socket_of(cpu)
+
+    # ---- group enumerations ----------------------------------------------
+
+    def cpus_in_socket(self, socket: int) -> List[int]:
+        if not 0 <= socket < self.n_sockets:
+            raise ValueError(f"bad socket {socket}")
+        base = socket * self.cores_per_socket
+        first = list(range(base, base + self.cores_per_socket))
+        if self.smt == 1:
+            return first
+        npc = self.n_physical_cores
+        return first + [c + npc for c in first]
+
+    def smt_siblings(self, cpu: int) -> Tuple[int, ...]:
+        """All hardware threads of the physical core containing ``cpu``."""
+        self._check(cpu)
+        if self.smt == 1:
+            return (cpu,)
+        a = self.physical_core_of(cpu)
+        return (a, a + self.n_physical_cores)
+
+    def all_cpus(self) -> List[int]:
+        return list(range(self.n_cpus))
+
+    def sockets(self) -> List[int]:
+        return list(range(self.n_sockets))
+
+    def _check(self, cpu: int) -> None:
+        if not 0 <= cpu < self.n_cpus:
+            raise ValueError(f"bad cpu {cpu} (n_cpus={self.n_cpus})")
+
+    def describe(self) -> str:
+        return (f"{self.n_sockets}x{self.cores_per_socket}x{self.smt} = "
+                f"{self.n_cpus} hardware threads")

@@ -1,0 +1,99 @@
+"""Turbo-frequency tables (paper Table 3).
+
+The achievable turbo frequency of a core depends on how many physical cores
+on its socket are active, to respect thermal constraints.  Frequencies are in
+MHz.  ``limits[k]`` gives the maximum frequency when ``k+1`` physical cores on
+the socket are active; the last entry extends to a full socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def _expand(buckets: Sequence[Tuple[int, int]], n_cores: int) -> Tuple[int, ...]:
+    """Expand (up_to_active_count, mhz) buckets into a dense per-count table."""
+    table = []
+    for up_to, mhz in buckets:
+        while len(table) < min(up_to, n_cores):
+            table.append(mhz)
+    while len(table) < n_cores:
+        table.append(buckets[-1][1])
+    return tuple(table)
+
+
+@dataclass(frozen=True)
+class TurboTable:
+    """Per-socket turbo ceiling as a function of active physical cores."""
+
+    min_mhz: int
+    nominal_mhz: int
+    limits: Tuple[int, ...]   # limits[k] = ceiling with k+1 active cores
+
+    def __post_init__(self) -> None:
+        if not self.limits:
+            raise ValueError("empty turbo table")
+        if any(a < b for a, b in zip(self.limits, self.limits[1:])):
+            # Turbo ceilings are non-increasing in the active-core count.
+            raise ValueError("turbo limits must be non-increasing")
+        if self.limits[-1] < self.nominal_mhz:
+            raise ValueError("all-core turbo below nominal frequency")
+
+    @property
+    def max_turbo_mhz(self) -> int:
+        return self.limits[0]
+
+    def ceiling(self, active_physical_cores: int) -> int:
+        """Turbo ceiling (MHz) with ``active_physical_cores`` active.
+
+        Zero active cores returns the single-core ceiling (the next core to
+        wake will be the only active one).
+        """
+        if active_physical_cores <= 0:
+            return self.limits[0]
+        idx = min(active_physical_cores, len(self.limits)) - 1
+        return self.limits[idx]
+
+
+# ---- Paper Table 3 --------------------------------------------------------
+# Buckets are (active cores up to, MHz); the paper lists columns
+# 1, 2, 3, 4, 5-8, 9-12, 13-16, 17-20.
+
+#: Intel Xeon E7-8870 v4 (Broadwell): min 1.2, nominal 2.1, max turbo 3.0 GHz.
+E7_8870_V4 = TurboTable(
+    min_mhz=1200,
+    nominal_mhz=2100,
+    limits=_expand([(1, 3000), (2, 3000), (3, 2800), (4, 2700), (20, 2600)], 20),
+)
+
+#: Intel Xeon Gold 6130 (Skylake): min 1.0, nominal 2.1, max turbo 3.7 GHz.
+XEON_6130 = TurboTable(
+    min_mhz=1000,
+    nominal_mhz=2100,
+    limits=_expand([(1, 3700), (2, 3700), (3, 3500), (4, 3500),
+                    (8, 3400), (12, 3100), (16, 2800)], 16),
+)
+
+#: Intel Xeon Gold 5218 (Cascade Lake): min 1.0, nominal 2.3, max turbo 3.9 GHz.
+XEON_5218 = TurboTable(
+    min_mhz=1000,
+    nominal_mhz=2300,
+    limits=_expand([(1, 3900), (2, 3900), (3, 3700), (4, 3700),
+                    (8, 3600), (12, 3100), (16, 2800)], 16),
+)
+
+#: Intel Xeon Gold 5220 (§5.6 mono-socket, Cascade Lake, 18 physical cores).
+XEON_5220 = TurboTable(
+    min_mhz=1000,
+    nominal_mhz=2200,
+    limits=_expand([(1, 3900), (2, 3900), (3, 3700), (4, 3700),
+                    (8, 3500), (12, 3100), (18, 2700)], 18),
+)
+
+#: AMD Ryzen 5 PRO 4650G (§5.6 mono-socket, 6 physical cores).
+RYZEN_4650G = TurboTable(
+    min_mhz=1400,
+    nominal_mhz=3700,
+    limits=_expand([(1, 4200), (2, 4200), (4, 4000), (6, 3900)], 6),
+)

@@ -1,0 +1,19 @@
+"""OS kernel substrate: tasks, runqueues, domains, the scheduler core."""
+
+from .domains import Domain, DomainHierarchy
+from .pelt import HALFLIFE_US, PELT_MAX, PeltAvg, decay_factor
+from .runqueue import RunQueue, SLEEPER_BONUS_US
+from .scheduler_core import Kernel, KernelConfig, TaskAPI
+from .syscalls import (Barrier, BarrierWait, Channel, Compute, Exit, Fork,
+                       Recv, Send, Sleep, WaitChildren, WaitTask, Yield)
+from .task import BlockReason, Task, TaskState
+
+__all__ = [
+    "Domain", "DomainHierarchy",
+    "PeltAvg", "PELT_MAX", "HALFLIFE_US", "decay_factor",
+    "RunQueue", "SLEEPER_BONUS_US",
+    "Kernel", "KernelConfig", "TaskAPI",
+    "Barrier", "BarrierWait", "Channel", "Compute", "Exit", "Fork",
+    "Recv", "Send", "Sleep", "WaitChildren", "WaitTask", "Yield",
+    "BlockReason", "Task", "TaskState",
+]

@@ -1,0 +1,158 @@
+"""Actions that task behaviours can yield, plus synchronisation objects.
+
+A task behaviour is a Python generator.  It yields *action* objects; the
+kernel interprets each action and resumes the generator when the action
+completes.  ``Fork`` resumes the generator with the child :class:`Task` as
+the value of the ``yield`` expression; ``Recv`` resumes with the received
+message.
+
+Example::
+
+    def worker(api):
+        yield Compute(cycles=5_000_000)     # 5 ms at 1 GHz
+        yield Sleep(us=100)
+        yield Compute(cycles=1_000_000)
+
+    def parent(api):
+        children = []
+        for _ in range(4):
+            child = yield Fork(worker, name="worker")
+            children.append(child)
+        yield WaitChildren()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Run on the CPU for ``cycles`` cycles (1000 cycles = 1 µs at 1 GHz)."""
+
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("negative compute")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Block for a fixed duration (timer/IO wait)."""
+
+    us: int
+
+    def __post_init__(self) -> None:
+        if self.us < 0:
+            raise ValueError("negative sleep")
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Create a child task running ``behaviour``; yields the child Task."""
+
+    behaviour: Callable[..., Any]
+    name: str = "child"
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class WaitChildren:
+    """Block until every live child of this task has exited."""
+
+
+@dataclass(frozen=True)
+class WaitTask:
+    """Block until a specific task exits."""
+
+    task: Any
+
+
+@dataclass(frozen=True)
+class BarrierWait:
+    """Block on a barrier until all parties have arrived."""
+
+    barrier: "Barrier"
+
+
+@dataclass(frozen=True)
+class Send:
+    """Deposit a message into a channel, waking one blocked receiver."""
+
+    channel: "Channel"
+    message: Any = None
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Receive a message from a channel, blocking if empty."""
+
+    channel: "Channel"
+
+
+@dataclass(frozen=True)
+class Yield:
+    """Voluntarily release the CPU while staying runnable."""
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Terminate the task immediately."""
+
+
+class Barrier:
+    """An N-party reusable barrier.
+
+    The last arriver releases all waiters and continues; the released tasks
+    go through normal wakeup placement.
+    """
+
+    __slots__ = ("parties", "waiting", "generation")
+
+    def __init__(self, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.waiting: List[Any] = []      # blocked Task objects
+        self.generation = 0
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self.waiting)
+
+    def arrive(self, task: Any) -> Optional[List[Any]]:
+        """Register arrival.  Returns the tasks to wake if this completes
+        the barrier (the arriver itself is not in the list), else None."""
+        if len(self.waiting) + 1 >= self.parties:
+            woken = self.waiting
+            self.waiting = []
+            self.generation += 1
+            return woken
+        self.waiting.append(task)
+        return None
+
+
+class Channel:
+    """An unbounded FIFO message queue with blocking receivers."""
+
+    __slots__ = ("messages", "receivers", "name")
+
+    def __init__(self, name: str = "chan") -> None:
+        self.name = name
+        self.messages: List[Any] = []
+        self.receivers: List[Any] = []    # blocked Task objects, FIFO
+
+    def put(self, message: Any) -> Optional[Any]:
+        """Deposit a message.  Returns a receiver task to wake, or None."""
+        self.messages.append(message)
+        if self.receivers:
+            return self.receivers.pop(0)
+        return None
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking receive: (True, msg) or (False, None)."""
+        if self.messages:
+            return True, self.messages.pop(0)
+        return False, None

@@ -1,0 +1,13 @@
+"""Measurement: underload, frequency distributions, latency, summaries."""
+
+from .freqdist import FreqDistribution, PAPER_BINS_GHZ, bins_for
+from .latency import LatencyRecorder, percentile
+from .summary import RunResult, energy_savings, improvement_stddev, speedup
+from .underload import UnderloadResult, UnderloadTracker
+
+__all__ = [
+    "FreqDistribution", "PAPER_BINS_GHZ", "bins_for",
+    "LatencyRecorder", "percentile",
+    "RunResult", "speedup", "energy_savings", "improvement_stddev",
+    "UnderloadResult", "UnderloadTracker",
+]

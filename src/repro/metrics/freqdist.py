@@ -1,0 +1,95 @@
+"""Time-weighted frequency distributions (paper Figures 2, 6 and 11).
+
+For every interval during which a task was running on a core, the duration
+is accumulated into a frequency bin.  Bin edges follow the paper's figures:
+they are machine specific (each machine has its own turbo structure), e.g.
+for the 6130: (0,1.0], (1.0,1.6], (1.6,2.1], (2.1,2.8], (2.8,3.1],
+(3.1,3.4], (3.4,3.7] GHz.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..hw.machines import Machine
+
+#: Paper bin edges (GHz upper bounds) per cpu model.
+PAPER_BINS_GHZ: Dict[str, Tuple[float, ...]] = {
+    "Intel Xeon Gold 6130": (1.0, 1.6, 2.1, 2.8, 3.1, 3.4, 3.7),
+    "Intel Xeon Gold 5218": (1.0, 1.6, 2.3, 2.8, 3.1, 3.6, 3.9),
+    "Intel Xeon E7-8870 v4": (1.2, 1.7, 2.1, 2.6, 3.0),
+    "Intel Xeon Gold 5220": (1.0, 1.6, 2.2, 2.8, 3.1, 3.6, 3.9),
+    "AMD Ryzen 5 PRO 4650G": (1.4, 2.4, 3.7, 4.0, 4.2),
+}
+
+
+def bins_for(machine: Machine) -> Tuple[float, ...]:
+    """Bin upper edges in GHz for a machine (paper bins where defined)."""
+    edges = PAPER_BINS_GHZ.get(machine.cpu_model)
+    if edges is not None:
+        return edges
+    lo = machine.min_mhz / 1000.0
+    nom = machine.nominal_mhz / 1000.0
+    hi = machine.max_turbo_mhz / 1000.0
+    mid = (nom + hi) / 2
+    return (lo, (lo + nom) / 2, nom, mid, hi)
+
+
+class FreqDistribution:
+    """Accumulates busy time per frequency bin."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.edges_ghz = bins_for(machine)
+        self.bin_time_us: List[int] = [0] * len(self.edges_ghz)
+        self.total_us = 0
+
+    def segment_sink(self, core: int, start: int, end: int, freq_mhz: int,
+                     task_id: int, spinning: bool) -> None:
+        if task_id < 0 or spinning:
+            return
+        dur = end - start
+        self.bin_time_us[self.bin_index(freq_mhz)] += dur
+        self.total_us += dur
+
+    def bin_index(self, freq_mhz: int) -> int:
+        ghz = freq_mhz / 1000.0
+        for i, edge in enumerate(self.edges_ghz):
+            if ghz <= edge + 1e-9:
+                return i
+        return len(self.edges_ghz) - 1
+
+    def fractions(self) -> List[float]:
+        """Share of busy time in each bin (sums to 1 when non-empty)."""
+        if self.total_us == 0:
+            return [0.0] * len(self.edges_ghz)
+        return [t / self.total_us for t in self.bin_time_us]
+
+    def labels(self) -> List[str]:
+        out = []
+        prev = 0.0
+        for edge in self.edges_ghz:
+            out.append(f"({prev:.1f},{edge:.1f}] GHz")
+            prev = edge
+        return out
+
+    def top_bins_fraction(self, n: int = 2) -> float:
+        """Share of busy time in the ``n`` highest-frequency bins."""
+        if self.total_us == 0:
+            return 0.0
+        return sum(self.bin_time_us[-n:]) / self.total_us
+
+    def mean_ghz(self) -> float:
+        """Busy-time-weighted mean of bin midpoints (summary statistic)."""
+        if self.total_us == 0:
+            return 0.0
+        prev = 0.0
+        acc = 0.0
+        for t, edge in zip(self.bin_time_us, self.edges_ghz):
+            mid = (prev + edge) / 2
+            acc += t * mid
+            prev = edge
+        return acc / self.total_us
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(self.labels(), self.fractions()))

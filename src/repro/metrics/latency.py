@@ -1,0 +1,50 @@
+"""Wakeup/tail latency metrics (used by the schbench workload, §5.6)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100])."""
+    if not values:
+        raise ValueError("empty sample")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile out of range")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[min(len(ordered), rank) - 1]
+
+
+class LatencyRecorder:
+    """Accumulates request latencies and reports schbench-style stats."""
+
+    def __init__(self) -> None:
+        self.samples_us: List[int] = []
+
+    def record(self, latency_us: int) -> None:
+        if latency_us < 0:
+            raise ValueError("negative latency")
+        self.samples_us.append(latency_us)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_us)
+
+    def mean(self) -> float:
+        if not self.samples_us:
+            return 0.0
+        return sum(self.samples_us) / len(self.samples_us)
+
+    def p50(self) -> float:
+        return percentile(self.samples_us, 50)
+
+    def p99(self) -> float:
+        return percentile(self.samples_us, 99)
+
+    def p999(self) -> float:
+        """The 99.9th percentile schbench reports."""
+        return percentile(self.samples_us, 99.9)

@@ -1,0 +1,85 @@
+"""Run summaries: the measurement record of one simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.clock import US_PER_SEC
+from .freqdist import FreqDistribution
+from .underload import UnderloadResult
+
+
+@dataclass
+class RunResult:
+    """Everything the benchmark harness reports about one run."""
+
+    scheduler: str
+    governor: str
+    machine: str
+    workload: str
+    seed: int
+    makespan_us: int
+    energy_joules: float
+    underload: Optional[UnderloadResult] = None
+    freq_dist: Optional[FreqDistribution] = None
+    n_tasks: int = 0
+    n_migrations: int = 0
+    total_wakeups: int = 0
+    wakeup_latency_us: int = 0
+    policy_stats: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan_sec(self) -> float:
+        return self.makespan_us / US_PER_SEC
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheduler}-{self.governor}"
+
+    def brief(self) -> str:
+        parts = [f"{self.workload} on {self.machine} [{self.label}]",
+                 f"time={self.makespan_sec:.3f}s",
+                 f"energy={self.energy_joules:.1f}J"]
+        if self.underload is not None:
+            parts.append(f"underload/s={self.underload.underload_per_second:.2f}")
+        if self.freq_dist is not None:
+            parts.append(f"top-freq={self.freq_dist.top_bins_fraction():.0%}")
+        return "  ".join(parts)
+
+
+def speedup(baseline_makespans: List[int], candidate_makespans: List[int]) -> float:
+    """The paper's speedup: mean(baseline time) / mean(candidate time) - 1.
+
+    Positive values are improvements (they plot above 0 in Figures 5-13).
+    """
+    if not baseline_makespans or not candidate_makespans:
+        raise ValueError("empty sample")
+    base = sum(baseline_makespans) / len(baseline_makespans)
+    cand = sum(candidate_makespans) / len(candidate_makespans)
+    if cand <= 0:
+        raise ValueError("non-positive candidate time")
+    return base / cand - 1.0
+
+
+def energy_savings(baseline_j: List[float], candidate_j: List[float]) -> float:
+    """Fractional CPU-energy reduction relative to the baseline."""
+    if not baseline_j or not candidate_j:
+        raise ValueError("empty sample")
+    base = sum(baseline_j) / len(baseline_j)
+    cand = sum(candidate_j) / len(candidate_j)
+    if base <= 0:
+        raise ValueError("non-positive baseline energy")
+    return 1.0 - cand / base
+
+
+def improvement_stddev(baseline_mean: float, candidate_values: List[float]) -> float:
+    """The paper's error bars: stddev of per-run improvement vs the
+    baseline *average* (§5.1)."""
+    if not candidate_values:
+        return 0.0
+    imps = [baseline_mean / v - 1.0 for v in candidate_values]
+    mean = sum(imps) / len(imps)
+    var = sum((x - mean) ** 2 for x in imps) / len(imps)
+    return var ** 0.5

@@ -1,0 +1,121 @@
+"""The paper's *underload* metric (§5.2).
+
+    "Underload in a given time interval is the difference between the number
+    of cores used at any point in the interval and the maximum number of
+    tasks that are simultaneously runnable in the interval."
+
+A positive underload means a long-idle core was chosen instead of reusing a
+core that was already active in the interval — the placement pathology Nest
+removes.  The paper uses 4 ms (one-tick) intervals and also reports
+*underload per second*: the average underload accumulated per second of
+execution.  Overload (more runnable tasks than cores used, §5.2's "multiple
+tasks trying to run on a single core") is tracked symmetrically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..sim.clock import TICK_US, US_PER_SEC
+
+
+class UnderloadTracker:
+    """Collects the inputs of the underload computation during a run.
+
+    Wire it up with::
+
+        tracker = UnderloadTracker()
+        kernel.tracer.add_sink(tracker.segment_sink)
+        kernel.runnable_observers.append(tracker.runnable_sink)
+
+    and call :meth:`finalize` after the run.
+    """
+
+    def __init__(self, interval_us: int = TICK_US) -> None:
+        if interval_us <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_us = interval_us
+        self._busy: List[Tuple[int, int, int]] = []    # (core, start, end)
+        self._runnable: List[Tuple[int, int]] = [(0, 0)]  # (time, count)
+
+    # ---- sinks -----------------------------------------------------------
+
+    def segment_sink(self, core: int, start: int, end: int, freq_mhz: int,
+                     task_id: int, spinning: bool) -> None:
+        if task_id >= 0 and not spinning:
+            self._busy.append((core, start, end))
+
+    def runnable_sink(self, now: int, count: int) -> None:
+        self._runnable.append((now, count))
+
+    # ---- computation -------------------------------------------------------
+
+    def finalize(self, end_us: int) -> "UnderloadResult":
+        itv = self.interval_us
+        n_intervals = max(1, (end_us + itv - 1) // itv)
+
+        used: Dict[int, Set[int]] = {}
+        for core, start, end in self._busy:
+            for k in range(start // itv, min(n_intervals - 1, (end - 1) // itv) + 1):
+                used.setdefault(k, set()).add(core)
+
+        # Max simultaneous runnable per interval: sweep the change log.
+        max_runnable = [0] * n_intervals
+        prev_count = 0
+        prev_time = 0
+        for now, count in self._runnable:
+            lo = prev_time // itv
+            hi = min(n_intervals - 1, now // itv)
+            for k in range(lo, hi + 1):
+                if prev_count > max_runnable[k]:
+                    max_runnable[k] = prev_count
+            # The new count also holds at its own instant.
+            k = min(n_intervals - 1, now // itv)
+            if count > max_runnable[k]:
+                max_runnable[k] = count
+            prev_count, prev_time = count, now
+        for k in range(prev_time // itv, n_intervals):
+            if prev_count > max_runnable[k]:
+                max_runnable[k] = prev_count
+
+        series = []
+        for k in range(n_intervals):
+            series.append(len(used.get(k, ())) - max_runnable[k])
+        return UnderloadResult(self.interval_us, series, end_us)
+
+
+class UnderloadResult:
+    """Per-interval underload series and its aggregates."""
+
+    def __init__(self, interval_us: int, series: List[int], end_us: int) -> None:
+        self.interval_us = interval_us
+        self.series = series
+        self.end_us = max(end_us, 1)
+
+    @property
+    def total_underload(self) -> int:
+        """Sum of positive per-interval underload."""
+        return sum(v for v in self.series if v > 0)
+
+    @property
+    def total_overload(self) -> int:
+        """Sum of per-interval overload (runnable exceeding cores used)."""
+        return sum(-v for v in self.series if v < 0)
+
+    @property
+    def underload_per_second(self) -> float:
+        """The paper's headline aggregate (Figure 4): the time-averaged
+        underload level, i.e. the average amount of underload present at any
+        moment of the execution (Figure 4's values live in 0-5 while the
+        per-interval series of Figure 3 also peaks around 6)."""
+        return self.total_underload / len(self.series)
+
+    @property
+    def overload_per_second(self) -> float:
+        """Time-averaged overload level (symmetric to underload)."""
+        return self.total_overload / len(self.series)
+
+    def timeline(self) -> List[Tuple[float, int]]:
+        """(seconds, underload) points, for Figure 3-style traces."""
+        return [(k * self.interval_us / US_PER_SEC, v)
+                for k, v in enumerate(self.series)]

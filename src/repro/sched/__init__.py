@@ -1,0 +1,7 @@
+"""Core-selection policies: CFS (baseline), Smove (comparison baseline)."""
+
+from .base import SelectionPolicy
+from .cfs import CfsPolicy, WAKEUP_SCAN_LIMIT
+from .smove import SmovePolicy
+
+__all__ = ["SelectionPolicy", "CfsPolicy", "SmovePolicy", "WAKEUP_SCAN_LIMIT"]

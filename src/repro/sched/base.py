@@ -1,0 +1,61 @@
+"""Interface between the kernel and a core-selection policy."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.scheduler_core import Kernel
+    from ..kernel.task import Task
+
+
+class SelectionPolicy:
+    """Chooses a CPU for a forking or waking task.
+
+    Subclasses implement the two selection paths; the remaining hooks have
+    no-op defaults.  A policy instance is bound to exactly one kernel.
+    """
+
+    #: CPU time consumed by one run of the selection code.  Nest adds code
+    #: to core selection (the paper measures this through hackbench's
+    #: instruction-cache misses, §5.6), so its value is larger.
+    selection_cost_us: int = 1
+
+    def __init__(self) -> None:
+        self.kernel: Optional["Kernel"] = None
+
+    def bind(self, kernel: "Kernel") -> None:
+        if self.kernel is not None:
+            raise RuntimeError("policy already bound to a kernel")
+        self.kernel = kernel
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook called once the kernel reference is available."""
+
+    # ---- required selection paths ----------------------------------------
+
+    def select_cpu_fork(self, task: "Task", parent_cpu: int) -> int:
+        raise NotImplementedError
+
+    def select_cpu_wakeup(self, task: "Task", waker_cpu: int) -> int:
+        raise NotImplementedError
+
+    # ---- optional hooks ------------------------------------------------
+
+    def spin_ticks(self) -> float:
+        """Ticks the idle loop should spin after a task blocks (§3.2)."""
+        return 0.0
+
+    def on_tick(self, cpu: int, freq_mhz: int) -> None:
+        """Scheduler tick on a busy cpu (Smove samples frequencies here)."""
+
+    def on_enqueue(self, task: "Task", cpu: int) -> None:
+        """A task was enqueued on ``cpu`` (placement or migration)."""
+
+    def on_exit_idle(self, cpu: int) -> None:
+        """A task exited and ``cpu`` may now be idle."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

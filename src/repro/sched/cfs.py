@@ -1,0 +1,260 @@
+"""Model of CFS core selection (Linux v5.9 ``select_task_rq_fair``).
+
+Implements the behaviour the paper describes in §2.1:
+
+**Fork** walks the scheduling domains from the highest level down.  At each
+level it picks the least-loaded group — most idle cpus first, then lowest
+recent load — and then the least-loaded cpu inside that group, scanning in
+numerical order modulo the group size, starting from the forking cpu.
+Because *recent load* (PELT) is part of the choice, an idle core that ran a
+task a moment ago loses to a long-idle core: this is the anti-reuse bias
+that Nest removes.
+
+**Wakeup** picks a target (the task's previous cpu or the waker's), then
+searches the target's die only: first for a physical core whose hyperthreads
+are both idle, then a bounded linear scan for any idle cpu, then the
+target's hyperthread, and finally settles on the target itself.  The scan is
+in numerical order, so recently-used idle cores can be overlooked; recent
+load is *not* consulted.  Wakeup is not work conserving: other dies are
+never examined (Nest's fallback extends this, §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..kernel.task import Task
+from .base import SelectionPolicy
+
+#: Upper bound on the wakeup path's linear scan for an idle cpu ("it only
+#: makes a limited effort to find an idle core on that die", §2.1).
+WAKEUP_SCAN_LIMIT = 8
+
+#: Load quantum for comparisons: loads within one bucket are considered
+#: equal (PELT noise), letting the numerical-order tiebreak decide — this is
+#: how "the recent load's influence times out" (§5.2) and CFS returns to the
+#: cores near the forking one.
+LOAD_EPSILON = 32.0
+
+
+class CfsPolicy(SelectionPolicy):
+    """Linux CFS placement (the paper's baseline)."""
+
+    selection_cost_us = 1
+
+    def __init__(self, check_pending_default: bool = False) -> None:
+        super().__init__()
+        #: When used as Nest's fallback, the §3.4 placement flag applies to
+        #: the fork path too; stock CFS leaves this off.
+        self.check_pending_default = check_pending_default
+
+    # ------------------------------------------------------------------
+    # Fork path
+    # ------------------------------------------------------------------
+
+    def select_cpu_fork(self, task: Task, parent_cpu: int) -> int:
+        kernel = self.kernel
+        cpu = parent_cpu
+        stack = kernel.domains.domains_of(cpu)
+        # Walk from the highest domain down to the lowest.
+        for level in range(len(stack) - 1, -1, -1):
+            dom = kernel.domains.domains_of(cpu)[level]
+            group = self._find_idlest_group(dom.groups, cpu)
+            cpu = self._find_idlest_cpu(group, from_cpu=parent_cpu)
+        return cpu
+
+    def _find_idlest_group(self, groups: Sequence[Tuple[int, ...]],
+                           current_cpu: int) -> Tuple[int, ...]:
+        """Linux v5.9 semantics: the local group (the one containing the
+        forking cpu) wins unless another group has strictly more idle cpus;
+        among the others, more idle cpus then less quantized load."""
+        now = self.kernel.engine.now
+        local = None
+        best = None
+        best_key = None
+        for group in groups:
+            if current_cpu in group:
+                local = group
+                continue
+            idle_cpus = sum(1 for c in group if self.kernel.cpu_is_idle(c))
+            load = _qload(sum(self.kernel.rqs[c].load_avg(now) for c in group))
+            running = sum(self.kernel.nr_running(c) for c in group)
+            key = (-idle_cpus, running, load)
+            if best_key is None or key < best_key:
+                best, best_key = group, key
+        if local is None:
+            return best
+        if best is None:
+            return local
+        local_idle = sum(1 for c in local if self.kernel.cpu_is_idle(c))
+        if local_idle >= -best_key[0]:
+            return local
+        return best
+
+    def _find_idlest_cpu(self, group: Tuple[int, ...], from_cpu: int) -> int:
+        """Least-loaded cpu of the group, scanned in numerical order modulo
+        the group, starting from the forking cpu's position."""
+        kernel = self.kernel
+        now = kernel.engine.now
+        ordered = _rotate(group, from_cpu)
+        best = None
+        best_key = None
+        for rank, c in enumerate(ordered):
+            if self._usable_idle(c, self.check_pending_default):
+                # Idle cpus compete on recent load: CFS prefers the one
+                # idle longest (smallest decayed load, quantized so that
+                # fully-decayed cores tie and scan order decides).
+                key = (0, 0, _qload(kernel.rqs[c].load_avg(now)), rank)
+            else:
+                key = (1, kernel.nr_running(c),
+                       _qload(kernel.rqs[c].load_avg(now)), rank)
+            if best_key is None or key < best_key:
+                best, best_key = c, key
+        return best
+
+    # ------------------------------------------------------------------
+    # Wakeup path
+    # ------------------------------------------------------------------
+
+    def select_cpu_wakeup(self, task: Task, waker_cpu: int) -> int:
+        prev = task.prev_cpu if task.prev_cpu is not None else waker_cpu
+        target = self._wake_affine(task, prev, waker_cpu)
+        return self.select_idle_sibling(target, all_dies=False,
+                                        check_pending=False)
+
+    def _wake_affine(self, task: Task, prev: int, waker: int) -> int:
+        """Choose between the previous cpu and the waker's cpu.
+
+        Mirrors v5.9 ``wake_affine``: if the waker's cpu is idle and shares
+        a cache with prev, stay with whichever of the two is idle;
+        otherwise compare effective loads (``wake_affine_weight``) with the
+        kernel's ~117% imbalance margin.  Because the previous cpu carries
+        the wakee's own decaying blocked footprint, a frequently-sleeping
+        task can be pulled toward its (varying) wakers — the seed of the
+        dispersal cascades that §3.3 describes.
+        """
+        kernel = self.kernel
+        if prev == waker:
+            return prev
+        topo = kernel.topology
+        now = kernel.engine.now
+        if kernel.cpu_is_idle(waker) \
+                and topo.die_of(prev) == topo.die_of(waker):
+            return prev if kernel.cpu_is_idle(prev) else waker
+        this_load = kernel.rqs[waker].load_avg(now) + task.util_est
+        prev_load = kernel.rqs[prev].load_avg(now)
+        if this_load * 1.17 < prev_load:
+            return waker
+        return prev
+
+    def select_idle_sibling(self, target: int, all_dies: bool,
+                            check_pending: bool) -> int:
+        """The CFS idle search around ``target`` (``select_idle_sibling``).
+
+        ``all_dies`` enables Nest's §3.4 wakeup work conservation: if the
+        target die has no idle cpu, other dies are searched too.
+        ``check_pending`` makes the search skip cpus with an in-flight
+        placement (Nest's §3.4 placement flag).
+        """
+        kernel = self.kernel
+        topo = kernel.topology
+
+        if self._usable_idle(target, check_pending):
+            return target
+
+        die = kernel.domains.die_span(target)
+        if not all_dies:
+            cpu = self._search_die(die, target, check_pending)
+            if cpu is not None:
+                return cpu
+        else:
+            # Work-conserving variant (Nest §3.4): prefer a fully-idle
+            # physical core on *any* die over a hyperthread sibling on the
+            # local one — this is what lets a Nest burst scatter across the
+            # machine instead of doubling up on hyperthreads (the paper's
+            # rodinia observation).
+            other_spans = [tuple(topo.cpus_in_socket(s))
+                           for s in _rotate(tuple(range(topo.n_sockets)),
+                                            topo.die_of(target) + 1)
+                           if s != topo.die_of(target)]
+            cpu = self._search_idle_core(die, target, check_pending)
+            if cpu is not None:
+                return cpu
+            for span in other_spans:
+                cpu = self._search_idle_core(span, span[0], check_pending)
+                if cpu is not None:
+                    return cpu
+            cpu = self._search_any_idle(die, target, check_pending,
+                                        unbounded=False)
+            if cpu is not None:
+                return cpu
+            for span in other_spans:
+                cpu = self._search_any_idle(span, span[0], check_pending,
+                                            unbounded=True)
+                if cpu is not None:
+                    return cpu
+
+        sib = topo.sibling_of(target)
+        if sib != target and self._usable_idle(sib, check_pending):
+            return sib
+        return target
+
+    def _search_die(self, die: Sequence[int], target: int,
+                    check_pending: bool, unbounded: bool = False) -> Optional[int]:
+        cpu = self._search_idle_core(die, target, check_pending)
+        if cpu is not None:
+            return cpu
+        return self._search_any_idle(die, target, check_pending, unbounded)
+
+    def _search_idle_core(self, die: Sequence[int], target: int,
+                          check_pending: bool) -> Optional[int]:
+        """Step 1: a physical core with every hyperthread idle."""
+        topo = self.kernel.topology
+        seen_cores = set()
+        for c in _rotate(tuple(die), target):
+            pc = topo.physical_core_of(c)
+            if pc in seen_cores:
+                continue
+            seen_cores.add(pc)
+            sibs = topo.smt_siblings(c)
+            if all(self._usable_idle(s, check_pending) for s in sibs):
+                return min(sibs)
+        return None
+
+    def _search_any_idle(self, die: Sequence[int], target: int,
+                         check_pending: bool,
+                         unbounded: bool = False) -> Optional[int]:
+        """Step 2: bounded linear scan for any idle cpu."""
+        ordered = _rotate(tuple(die), target)
+        limit = len(ordered) if unbounded else min(len(ordered),
+                                                   WAKEUP_SCAN_LIMIT)
+        for c in ordered[:limit]:
+            if self._usable_idle(c, check_pending):
+                return c
+        return None
+
+    def _usable_idle(self, cpu: int, check_pending: bool) -> bool:
+        if not self.kernel.cpu_is_idle(cpu):
+            return False
+        if check_pending and self.kernel.rqs[cpu].placement_pending > 0:
+            return False
+        return True
+
+
+def _qload(load: float) -> int:
+    """Quantize a PELT load for comparisons (see LOAD_EPSILON)."""
+    return int(load / LOAD_EPSILON)
+
+
+def _rotate(seq: Tuple[int, ...], start: int) -> Tuple[int, ...]:
+    """Return ``seq`` rotated so scanning starts at ``start`` (or just after
+    its insertion point when ``start`` is not a member)."""
+    ordered = sorted(seq)
+    pivot = 0
+    for i, v in enumerate(ordered):
+        if v >= start:
+            pivot = i
+            break
+    else:
+        pivot = 0
+    return tuple(ordered[pivot:] + ordered[:pivot])

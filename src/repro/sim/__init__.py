@@ -1,0 +1,17 @@
+"""Discrete-event simulation engine (clock, events, queue, tracing)."""
+
+from .clock import Clock, TICK_US, US_PER_MS, US_PER_SEC, sec_from_us, ticks_to_us, us_from_ms, us_from_sec
+from .engine import Engine, SimulationError
+from .events import Event, EventKind
+from .queue import EventQueue
+from .rng import RngRegistry
+from .trace import Segment, Tracer
+
+__all__ = [
+    "Clock", "TICK_US", "US_PER_MS", "US_PER_SEC",
+    "sec_from_us", "ticks_to_us", "us_from_ms", "us_from_sec",
+    "Engine", "SimulationError",
+    "Event", "EventKind", "EventQueue",
+    "RngRegistry",
+    "Segment", "Tracer",
+]

@@ -1,0 +1,73 @@
+"""Binary-heap event queue with O(1) cancellation."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .events import Event, EventKind
+
+
+class EventQueue:
+    """Time-ordered queue of :class:`Event` objects.
+
+    Simultaneous events pop in (kind, sequence) order; the sequence number is
+    assigned at scheduling time, so insertion order decides final ties.  The
+    queue never reorders events of the same key, which keeps simulations
+    deterministic across runs and platforms.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(
+        self,
+        time: int,
+        kind: EventKind,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> Event:
+        """Add an event; returns a handle usable for cancellation."""
+        ev = Event(time, kind, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not ev.cancelled:
+            ev.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,129 @@
+"""Software-configuration workloads (paper §5.2).
+
+Typical configure scripts "fork off hundreds or even thousands of tasks,
+many running alone and with a short lifespan".  The generator models a shell
+script that sequentially runs *tests*: each test forks a short-lived child
+(sometimes a small pipeline or a 2-3-way burst, as compile checks spawn
+``cc → cc1 → as`` chains), waits for it, does a bit of script work, and
+moves on.  Mostly exactly one task is runnable at any time — the ideal case
+for Nest and the worst case for CFS-schedutil's scattering.
+
+Eleven profiles mirror the packages of the Phoronix Timed Code Compilation
+suite used in Figures 4-7.  Profile scale is chosen so that simulated
+CFS-schedutil runtimes are proportional to the paper's reported times (a
+fixed ~1/20 scale keeps simulations fast); *nodejs* is the paper's "trivial"
+case — a handful of longer tasks that leave no room for placement gains.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..kernel.scheduler_core import Kernel
+from ..kernel.syscalls import Compute, Fork, Sleep, WaitChildren
+from ..kernel.task import Task
+from .base import Workload, jittered, ms_of_work
+
+
+@dataclass(frozen=True)
+class ConfigureProfile:
+    """Shape of one package's configure script."""
+
+    name: str
+    n_tests: int              # sequential tests the script runs
+    short_ms: float           # mean duration of a short probe child
+    long_ms: float            # mean duration of a long compile-check child
+    long_frac: float          # fraction of tests that are long
+    pipeline_frac: float      # tests whose child forks a sub-child (cc->as)
+    burst_frac: float         # tests forking 2-3 concurrent children
+    script_ms: float          # script-side work between tests
+    io_pause_us: int          # brief IO pause the script takes per test
+
+
+#: Profiles mirroring the Phoronix Timed Code Compilation configure stage;
+#: ``n_tests`` is proportional to the paper's CFS-schedutil runtimes on the
+#: Intel 5218 (Figure 5), at roughly 1/20 scale.
+CONFIGURE_PROFILES: Dict[str, ConfigureProfile] = {
+    "erlang":       ConfigureProfile("erlang", 240, 1.2, 12.0, 0.10, 0.25, 0.10, 0.25, 150),
+    "ffmpeg":       ConfigureProfile("ffmpeg", 100, 1.0, 10.0, 0.12, 0.35, 0.08, 0.20, 120),
+    "gcc":          ConfigureProfile("gcc", 26, 1.0, 9.0, 0.12, 0.30, 0.08, 0.20, 120),
+    "gdb":          ConfigureProfile("gdb", 22, 1.0, 9.0, 0.12, 0.30, 0.08, 0.20, 120),
+    "imagemagick":  ConfigureProfile("imagemagick", 270, 1.1, 11.0, 0.10, 0.25, 0.06, 0.22, 130),
+    "linux":        ConfigureProfile("linux", 45, 1.0, 8.0, 0.10, 0.30, 0.10, 0.18, 100),
+    "llvm_ninja":   ConfigureProfile("llvm_ninja", 190, 1.1, 10.0, 0.10, 0.30, 0.10, 0.20, 120),
+    "llvm_unix":    ConfigureProfile("llvm_unix", 230, 1.1, 10.0, 0.10, 0.30, 0.10, 0.20, 120),
+    "mplayer":      ConfigureProfile("mplayer", 180, 1.0, 9.0, 0.10, 0.28, 0.08, 0.20, 110),
+    "nodejs":       ConfigureProfile("nodejs", 7, 5.0, 90.0, 0.85, 0.10, 0.00, 0.50, 250),
+    "php":          ConfigureProfile("php", 240, 1.1, 10.0, 0.10, 0.28, 0.08, 0.22, 120),
+}
+
+
+def configure_names() -> list[str]:
+    """Package names in the paper's figure order."""
+    return list(CONFIGURE_PROFILES)
+
+
+class ConfigureWorkload(Workload):
+    """A configure-script run for one package profile."""
+
+    def __init__(self, package: str = "llvm_ninja", scale: float = 1.0) -> None:
+        if package not in CONFIGURE_PROFILES:
+            raise KeyError(f"unknown package {package!r}; "
+                           f"known: {sorted(CONFIGURE_PROFILES)}")
+        self.profile = CONFIGURE_PROFILES[package]
+        self.scale = scale
+        self.name = f"configure-{package}"
+
+    def start(self, kernel: Kernel) -> Task:
+        rng = self.rng(kernel)
+        return kernel.spawn(self._script, name=self.name, args=(rng,))
+
+    # ------------------------------------------------------------------
+
+    def _script(self, api, rng: random.Random):
+        p = self.profile
+        n_tests = max(1, round(p.n_tests * self.scale))
+        for _ in range(n_tests):
+            yield Compute(ms_of_work(jittered(rng, p.script_ms, 0.3, 0.02)))
+            r = rng.random()
+            if r < p.burst_frac:
+                n = rng.choice((2, 3))
+                for _ in range(n):
+                    yield Fork(self._child, name="probe", args=(rng.random(),))
+            elif r < p.burst_frac + p.pipeline_frac:
+                yield Fork(self._pipeline_child, name="cc", args=(rng.random(),))
+            else:
+                yield Fork(self._child, name="probe", args=(rng.random(),))
+            yield WaitChildren()
+            if p.io_pause_us > 0:
+                yield Sleep(max(1, int(rng.gauss(p.io_pause_us,
+                                                 p.io_pause_us * 0.3))))
+
+    def _child_ms(self, u: float, rng: random.Random) -> float:
+        p = self.profile
+        if u < p.long_frac:
+            return jittered(rng, p.long_ms, 0.4, 0.5)
+        return jittered(rng, p.short_ms, 0.5, 0.1)
+
+    def _child(self, api, u: float):
+        rng = api.rng(f"{self.name}:{api.task.tid}")
+        ms = self._child_ms(u, rng)
+        # A child occasionally pauses briefly for IO mid-run.
+        if rng.random() < 0.3:
+            yield Compute(ms_of_work(ms * 0.5))
+            yield Sleep(rng.randrange(50, 300))
+            yield Compute(ms_of_work(ms * 0.5))
+        else:
+            yield Compute(ms_of_work(ms))
+
+    def _pipeline_child(self, api, u: float):
+        rng = api.rng(f"{self.name}:{api.task.tid}")
+        ms = self._child_ms(u, rng)
+        yield Compute(ms_of_work(ms * 0.6))
+        # The compiler driver forks the assembler and waits for it.
+        yield Fork(self._child, name="as", args=(u * 0.7,))
+        yield Compute(ms_of_work(ms * 0.2))
+        yield WaitChildren()
+        yield Compute(ms_of_work(ms * 0.2))

@@ -1,0 +1,124 @@
+"""Scheduler microbenchmarks: hackbench and schbench (paper §5.6).
+
+*hackbench* creates groups of sender/receiver pairs that exchange messages
+as fast as possible; its runtime is dominated by wakeup/placement cost.
+The paper reports a substantial Nest *slowdown* here: Nest adds code to
+core selection (more instruction-cache pressure), so a workload that is
+nearly all core selection magnifies the overhead.  In the simulator that
+overhead is the policy's ``selection_cost_us``, charged per placement.
+
+*schbench* measures wakeup tail latency: message threads periodically wake
+worker threads that run a short compute; the recorded latency is the gap
+between the intended wake time and the moment the worker finishes.  The
+paper finds no clear winner — sometimes CFS has the longer tail, sometimes
+Nest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..kernel.scheduler_core import Kernel
+from ..kernel.syscalls import (Channel, Compute, Fork, Recv, Send, Sleep,
+                               WaitChildren)
+from ..kernel.task import Task
+from ..metrics.latency import LatencyRecorder
+from .base import Workload, ms_of_work, us_of_work
+
+
+class HackbenchWorkload(Workload):
+    """hackbench -g <groups> -l <loops>, scaled down."""
+
+    def __init__(self, groups: int = 8, pairs_per_group: int = 4,
+                 loops: int = 120, message_work_us: float = 4.0) -> None:
+        self.groups = groups
+        self.pairs_per_group = pairs_per_group
+        self.loops = loops
+        self.message_work_us = message_work_us
+        self.name = f"hackbench-g{groups}"
+
+    def start(self, kernel: Kernel) -> Task:
+        rng = self.rng(kernel)
+        return kernel.spawn(self._main, name=self.name, args=(rng,))
+
+    def _main(self, api, rng: random.Random):
+        for g in range(self.groups):
+            for p in range(self.pairs_per_group):
+                ping = Channel(f"g{g}p{p}-ping")
+                pong = Channel(f"g{g}p{p}-pong")
+                yield Compute(us_of_work(20))
+                yield Fork(self._sender, name=f"g{g}s{p}", args=(ping, pong))
+                yield Compute(us_of_work(20))
+                yield Fork(self._receiver, name=f"g{g}r{p}", args=(ping, pong))
+        yield WaitChildren()
+
+    def _sender(self, api, ping: Channel, pong: Channel):
+        work = us_of_work(self.message_work_us)
+        for _ in range(self.loops):
+            yield Compute(work)
+            yield Send(ping, b"x")
+            yield Recv(pong)
+
+    def _receiver(self, api, ping: Channel, pong: Channel):
+        work = us_of_work(self.message_work_us)
+        for _ in range(self.loops):
+            yield Recv(ping)
+            yield Compute(work)
+            yield Send(pong, b"y")
+
+
+class SchbenchWorkload(Workload):
+    """schbench-style wakeup-latency benchmark.
+
+    ``recorder`` collects per-request latencies; read
+    ``recorder.p999()`` after the run for the headline number.
+    """
+
+    def __init__(self, message_threads: int = 4, workers_per_thread: int = 8,
+                 requests: int = 60, work_us: float = 300.0,
+                 period_us: int = 1_000) -> None:
+        self.message_threads = message_threads
+        self.workers_per_thread = workers_per_thread
+        self.requests = requests
+        self.work_us = work_us
+        self.period_us = period_us
+        self.recorder = LatencyRecorder()
+        self.name = f"schbench-m{message_threads}w{workers_per_thread}"
+
+    def start(self, kernel: Kernel) -> Task:
+        rng = self.rng(kernel)
+        return kernel.spawn(self._main, name=self.name, args=(rng,))
+
+    def _main(self, api, rng: random.Random):
+        for m in range(self.message_threads):
+            yield Compute(us_of_work(30))
+            yield Fork(self._message_thread, name=f"msg{m}",
+                       args=(rng.randrange(1 << 30),))
+        yield WaitChildren()
+
+    def _message_thread(self, api, seed: int):
+        rng = random.Random(seed)
+        channels: List[Channel] = []
+        for w in range(self.workers_per_thread):
+            chan = Channel(f"{api.task.name}-w{w}")
+            channels.append(chan)
+            yield Compute(us_of_work(25))
+            yield Fork(self._worker, name=f"{api.task.name}-w{w}",
+                       args=(chan,))
+        for i in range(self.requests):
+            yield Sleep(max(1, int(rng.expovariate(1.0 / self.period_us))))
+            chan = channels[i % len(channels)]
+            yield Send(chan, api.now)
+        for chan in channels:
+            yield Send(chan, None)     # poison pills
+        yield WaitChildren()
+
+    def _worker(self, api, chan: Channel):
+        work = us_of_work(self.work_us)
+        while True:
+            sent_at = yield Recv(chan)
+            if sent_at is None:
+                return
+            yield Compute(work)
+            self.recorder.record(api.now - sent_at)

@@ -1,0 +1,47 @@
+"""Concurrent-application composition (paper §5.6, "Multiple concurrent
+applications").
+
+Runs several workloads in the same kernel simultaneously and records each
+application's own completion time, so per-application speedups can be
+compared between the single- and multi-application scenarios (the paper
+pairs zstd compression with libgav1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..kernel.scheduler_core import Kernel
+from ..kernel.task import Task
+from .base import Workload
+
+
+class MultiAppWorkload(Workload):
+    """Compose workloads; their roots start together on different cpus."""
+
+    def __init__(self, parts: Sequence[Workload]) -> None:
+        if not parts:
+            raise ValueError("need at least one workload")
+        self.parts = list(parts)
+        self.name = "multi:" + "+".join(p.name for p in self.parts)
+        self.roots: Dict[str, Task] = {}
+
+    def start(self, kernel: Kernel) -> Task:
+        first = None
+        for part in self.parts:
+            root = part.start(kernel)
+            self.roots[part.name] = root
+            if first is None:
+                first = root
+        return first
+
+    def completion_times_us(self) -> Dict[str, int]:
+        """Per-application completion time (root exit), after the run."""
+        if not self.roots:
+            raise RuntimeError("workload has not been started")
+        out: Dict[str, int] = {}
+        for name, root in self.roots.items():
+            if root.exited_us is None:
+                raise RuntimeError(f"application {name} did not finish")
+            out[name] = root.exited_us
+        return out

@@ -1,0 +1,105 @@
+"""NAS Parallel Benchmarks (paper §5.4).
+
+HPC kernels with one task per hardware thread (OpenMP, class C): each
+thread repeats *compute chunk → barrier*.  The optimal placement puts every
+task on its own core at fork time and never moves it.
+
+Per-kernel profiles control the chunk length, the number of barrier rounds
+and the load imbalance between threads.  ``ep`` is embarrassingly parallel
+(a single long chunk); ``cg`` has very short, communication-dominated
+rounds; ``lu`` is a wavefront solver whose rounds are short and imbalanced,
+making it the most placement-sensitive kernel (the paper measures ±54%
+CFS-schedutil variance on the 4-socket 6130).
+
+The machine-dependent shape to reproduce (Figure 12): near-parity on the
+2-socket Skylake machines (with every core active there is no turbo
+headroom for Nest to exploit) and solid Nest wins on the E7-8870 v4, whose
+barrier waits drop cores out of their frequency each round unless the
+warm-core spin bridges them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..kernel.scheduler_core import Kernel
+from ..kernel.syscalls import Barrier, BarrierWait, Compute, Fork, WaitChildren
+from ..kernel.task import Task
+from .base import Workload, ms_of_work
+
+
+@dataclass(frozen=True)
+class NasProfile:
+    """Shape of one NAS kernel (class C)."""
+
+    name: str
+    chunk_ms: float           # mean per-thread compute per round (at 1 GHz)
+    rounds: int               # barrier rounds
+    imbalance: float          # relative sigma of per-round chunk length
+    init_ms: float = 10.0     # serial initialisation on the master
+
+
+#: The nine kernels of Figure 12 (class C, scaled ~1/60).
+NAS_PROFILES: Dict[str, NasProfile] = {
+    "bt": NasProfile("bt", 2.0, 140, 0.10),
+    "cg": NasProfile("cg", 0.35, 220, 0.15),
+    "ep": NasProfile("ep", 35.0, 1, 0.05),
+    "ft": NasProfile("ft", 4.0, 25, 0.08),
+    "is": NasProfile("is", 0.8, 10, 0.20),
+    "lu": NasProfile("lu", 1.2, 170, 0.25),
+    "mg": NasProfile("mg", 1.0, 30, 0.12),
+    "sp": NasProfile("sp", 1.5, 150, 0.12),
+    "ua": NasProfile("ua", 1.3, 170, 0.15),
+}
+
+
+def nas_names() -> list[str]:
+    """Kernel names in the paper's figure order."""
+    return sorted(NAS_PROFILES)
+
+
+class NasWorkload(Workload):
+    """One NAS kernel run with one thread per hardware thread."""
+
+    def __init__(self, kernel_name: str = "lu", scale: float = 1.0,
+                 n_threads: int = 0) -> None:
+        if kernel_name not in NAS_PROFILES:
+            raise KeyError(f"unknown kernel {kernel_name!r}; "
+                           f"known: {sorted(NAS_PROFILES)}")
+        self.profile = NAS_PROFILES[kernel_name]
+        self.scale = scale
+        self.n_threads = n_threads     # 0 = one per hardware thread
+        self.name = f"nas-{kernel_name}.C"
+
+    def start(self, kernel: Kernel) -> Task:
+        n = self.n_threads or kernel.topology.n_cpus
+        rng = self.rng(kernel)
+        return kernel.spawn(self._master, name=self.name, args=(rng, n))
+
+    # ------------------------------------------------------------------
+
+    def _master(self, api, rng: random.Random, n_threads: int):
+        p = self.profile
+        yield Compute(ms_of_work(p.init_ms))
+        barrier = Barrier(n_threads)
+        # The OpenMP runtime forks the team; the master is thread 0 and
+        # participates in the barriers itself.
+        for i in range(1, n_threads):
+            yield Compute(ms_of_work(0.02))    # pthread_create work
+            yield Fork(self._thread, name=f"{p.name}-t{i}",
+                       args=(rng.randrange(1 << 30), barrier))
+        yield from self._rounds(random.Random(rng.randrange(1 << 30)), barrier)
+        yield WaitChildren()
+
+    def _thread(self, api, seed: int, barrier: Barrier):
+        yield from self._rounds(random.Random(seed), barrier)
+
+    def _rounds(self, rng: random.Random, barrier: Barrier):
+        p = self.profile
+        rounds = max(1, round(p.rounds * self.scale))
+        for _ in range(rounds):
+            chunk = max(0.05, rng.gauss(p.chunk_ms, p.chunk_ms * p.imbalance))
+            yield Compute(ms_of_work(chunk))
+            yield BarrierWait(barrier)

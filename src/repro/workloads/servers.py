@@ -1,0 +1,147 @@
+"""Server workloads (paper §5.6, "Server tests").
+
+Request-driven services on the 2-socket 6130: a load generator produces
+requests at a configurable rate/concurrency; an acceptor dispatches them to
+a worker pool.  The paper's findings to reproduce:
+
+* *apache-siege-like* high-concurrency servers get slower under Nest as
+  concurrency rises (the nest packs a saturating request flood onto too few
+  cores before it can grow);
+* *nginx-like* event-loop servers (few long-lived workers) are unaffected;
+* *key-value stores* (leveldb, redis) — one or a few hot threads plus
+  brief background work — improve, like the configure scripts (leveldb
+  +25%, redis +7% in the paper).
+
+The workload reports completed-request latency through ``recorder`` and
+the run's makespan stands in for the benchmark's throughput metric.
+"""
+
+from __future__ import annotations
+
+import random
+from ..kernel.scheduler_core import Kernel
+from ..kernel.syscalls import (Channel, Compute, Fork, Recv, Send, Sleep,
+                               WaitChildren)
+from ..kernel.task import Task
+from ..metrics.latency import LatencyRecorder
+from .base import Workload, ms_of_work, us_of_work
+
+
+class ServerWorkload(Workload):
+    """A request-driven server with a worker pool."""
+
+    def __init__(self, name: str = "server", n_workers: int = 8,
+                 n_requests: int = 400, request_us: float = 300.0,
+                 arrival_us: int = 150, burstiness: float = 0.5) -> None:
+        self.name = name
+        self.n_workers = n_workers
+        self.n_requests = n_requests
+        self.request_us = request_us
+        self.arrival_us = arrival_us
+        self.burstiness = burstiness
+        self.recorder = LatencyRecorder()
+
+    def start(self, kernel: Kernel) -> Task:
+        rng = self.rng(kernel)
+        return kernel.spawn(self._main, name=self.name, args=(rng,))
+
+    def _main(self, api, rng: random.Random):
+        queue = Channel(f"{self.name}-requests")
+        for w in range(self.n_workers):
+            yield Compute(us_of_work(25))
+            yield Fork(self._worker, name=f"{self.name}-w{w}",
+                       args=(rng.randrange(1 << 30), queue))
+        # The acceptor doubles as load generator: requests arrive in a
+        # (possibly bursty) Poisson-ish process.
+        sent = 0
+        while sent < self.n_requests:
+            burst = 1
+            if rng.random() < self.burstiness:
+                burst = rng.randrange(2, 6)
+            for _ in range(burst):
+                if sent >= self.n_requests:
+                    break
+                yield Compute(us_of_work(5))
+                yield Send(queue, api.now)
+                sent += 1
+            yield Sleep(max(1, int(rng.expovariate(1.0 / self.arrival_us))))
+        for _ in range(self.n_workers):
+            yield Send(queue, None)
+        yield WaitChildren()
+
+    def _worker(self, api, seed: int, queue: Channel):
+        rng = random.Random(seed)
+        while True:
+            arrived = yield Recv(queue)
+            if arrived is None:
+                return
+            work = us_of_work(max(20.0, rng.gauss(self.request_us,
+                                                  self.request_us * 0.3)))
+            yield Compute(work)
+            self.recorder.record(api.now - arrived)
+
+
+def apache_siege(concurrency: int) -> ServerWorkload:
+    """apache-siege-style: worker-per-connection, concurrency sweep."""
+    return ServerWorkload(name=f"apache-siege-c{concurrency}",
+                          n_workers=concurrency,
+                          n_requests=30 * concurrency,
+                          request_us=400.0,
+                          arrival_us=max(20, 4000 // concurrency),
+                          burstiness=0.7)
+
+
+def nginx(n_requests: int = 600) -> ServerWorkload:
+    """nginx-style: few long-lived event workers."""
+    return ServerWorkload(name="nginx", n_workers=4, n_requests=n_requests,
+                          request_us=120.0, arrival_us=120, burstiness=0.3)
+
+
+class KeyValueStoreWorkload(Workload):
+    """leveldb/redis-style store: a hot serving thread plus short-lived
+    background compaction/AOF tasks — the fork-heavy low-concurrency shape
+    that Nest accelerates."""
+
+    def __init__(self, name: str = "leveldb", n_ops: int = 250,
+                 op_us: float = 120.0, compaction_every: int = 25,
+                 compaction_ms: float = 1.2) -> None:
+        self.name = name
+        self.n_ops = n_ops
+        self.op_us = op_us
+        self.compaction_every = compaction_every
+        self.compaction_ms = compaction_ms
+
+    def start(self, kernel: Kernel) -> Task:
+        rng = self.rng(kernel)
+        return kernel.spawn(self._main, name=self.name, args=(rng,))
+
+    def _main(self, api, rng: random.Random):
+        for i in range(self.n_ops):
+            yield Compute(us_of_work(max(10.0, rng.gauss(self.op_us,
+                                                         self.op_us * 0.3))))
+            if rng.random() < 0.5:
+                # Client round-trips / fsync waits, longer than the
+                # hardware's activity window — only a warm-core spin keeps
+                # the serving core's frequency across them.
+                yield Sleep(rng.randrange(200, 900))
+            if self.compaction_every and i % self.compaction_every == 0:
+                yield Fork(self._compaction, name=f"{self.name}-bg",
+                           args=(rng.randrange(1 << 30),))
+        yield WaitChildren()
+
+    def _compaction(self, api, seed: int):
+        rng = random.Random(seed)
+        ms = max(0.2, rng.gauss(self.compaction_ms, self.compaction_ms * 0.3))
+        yield Compute(ms_of_work(ms * 0.6))
+        yield Sleep(rng.randrange(50, 250))
+        yield Compute(ms_of_work(ms * 0.4))
+
+
+def leveldb() -> KeyValueStoreWorkload:
+    return KeyValueStoreWorkload(name="leveldb", n_ops=300, op_us=150.0,
+                                 compaction_every=20, compaction_ms=1.5)
+
+
+def redis() -> KeyValueStoreWorkload:
+    return KeyValueStoreWorkload(name="redis", n_ops=350, op_us=90.0,
+                                 compaction_every=60, compaction_ms=0.8)

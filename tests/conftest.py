@@ -1,0 +1,13 @@
+"""Shared pytest configuration for the unit/property test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed property tests legitimately take tens of milliseconds
+# per example; disable the per-example deadline so slow CI machines don't
+# produce flaky failures.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,67 @@
+"""Tests for the JSON/CSV export helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (CSV_FIELDS, comparison_to_dict,
+                                   comparison_to_json, result_to_dict,
+                                   results_to_csv, results_to_json)
+from repro.experiments.runner import compare, run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.configure import ConfigureWorkload
+
+SMALL = get_machine("ryzen_4650g")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ConfigureWorkload("gcc", scale=0.5), SMALL,
+                          "nest", "schedutil", seed=1)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare(lambda: ConfigureWorkload("gcc", scale=0.5), SMALL,
+                   combos=(("cfs", "schedutil"), ("nest", "schedutil")),
+                   seeds=(1,))
+
+
+class TestResultExport:
+    def test_dict_has_scalars(self, result):
+        d = result_to_dict(result)
+        assert d["workload"] == "configure-gcc"
+        assert d["scheduler"] == "Nest"
+        assert d["makespan_us"] > 0
+        assert d["underload_per_second"] >= 0
+        assert "freq_distribution" in d
+
+    def test_json_round_trips(self, result):
+        parsed = json.loads(results_to_json([result, result]))
+        assert len(parsed) == 2
+        assert parsed[0]["machine"] == SMALL.name
+
+    def test_csv_header_and_rows(self, result):
+        out = results_to_csv([result])
+        lines = out.strip().splitlines()
+        assert lines[0].split(",") == list(CSV_FIELDS)
+        assert len(lines) == 2
+        assert "configure-gcc" in lines[1]
+
+    def test_csv_empty(self):
+        lines = results_to_csv([]).strip().splitlines()
+        assert len(lines) == 1
+
+
+class TestComparisonExport:
+    def test_dict_shape(self, comparison):
+        d = comparison_to_dict(comparison)
+        assert d["baseline"] == "cfs-schedutil"
+        assert len(d["combos"]) == 2
+        nest = next(c for c in d["combos"] if c["scheduler"] == "nest")
+        assert isinstance(nest["speedup_vs_baseline"], float)
+        assert nest["n_runs"] == 1
+
+    def test_json_parses(self, comparison):
+        parsed = json.loads(comparison_to_json(comparison))
+        assert parsed["workload"] == "configure-gcc"

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main, make_workload, workload_names
+from repro.workloads.configure import ConfigureWorkload
+from repro.workloads.dacapo import DacapoWorkload
+from repro.workloads.messaging import HackbenchWorkload
+from repro.workloads.nas import NasWorkload
+from repro.workloads.phoronix import PhoronixWorkload
+
+
+class TestMakeWorkload:
+    def test_configure(self):
+        wl = make_workload("configure-gcc")
+        assert isinstance(wl, ConfigureWorkload)
+        assert wl.name == "configure-gcc"
+
+    def test_dacapo(self):
+        assert isinstance(make_workload("dacapo-h2"), DacapoWorkload)
+
+    def test_nas_with_and_without_suffix(self):
+        assert isinstance(make_workload("nas-mg"), NasWorkload)
+        assert isinstance(make_workload("nas-mg.C"), NasWorkload)
+
+    def test_phoronix(self):
+        assert isinstance(make_workload("phoronix-rodinia-5"),
+                          PhoronixWorkload)
+
+    def test_simple_names(self):
+        assert isinstance(make_workload("hackbench"), HackbenchWorkload)
+        assert make_workload("nginx").name == "nginx"
+
+    def test_scale_forwarded(self):
+        assert make_workload("configure-gcc", scale=0.5).scale == 0.5
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_workload("quake3")
+
+    def test_every_listed_name_buildable(self):
+        for name in workload_names():
+            assert make_workload(name) is not None
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "5218_2s" in out and "configure-llvm_ninja" in out
+        assert "fig5" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--scheduler", "nest",
+                   "--scale", "0.5"])
+        assert rc == 0
+        assert "configure-gcc" in capsys.readouterr().out
+
+    def test_run_verbose_prints_bins(self, capsys):
+        main(["run", "--workload", "configure-gcc",
+              "--machine", "ryzen_4650g", "--verbose", "--scale", "0.5"])
+        assert "GHz" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--seeds", "1",
+                   "--scale", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nest-schedutil" in out and "speedup" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "fig12"]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_describe_unknown_is_error(self, capsys):
+        assert main(["describe", "fig99"]) == 2
+
+    def test_run_unknown_workload_is_error(self):
+        assert main(["run", "--workload", "nope"]) == 2
+
+    def test_parser_rejects_bad_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "x",
+                                       "--scheduler", "rr"])

@@ -1,0 +1,99 @@
+"""Tests for the topology model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.topology import Topology
+
+
+class TestCounts:
+    def test_6130_2s(self):
+        t = Topology(2, 16, 2)
+        assert t.n_physical_cores == 32
+        assert t.n_cpus == 64
+
+    def test_e7_4s(self):
+        t = Topology(4, 20, 2)
+        assert t.n_cpus == 160
+
+    def test_smt1(self):
+        t = Topology(1, 8, 1)
+        assert t.n_cpus == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Topology(0, 4)
+        with pytest.raises(ValueError):
+            Topology(1, 4, smt=4)
+
+
+class TestNumbering:
+    """Linux-style: thread-0 cpus first (socket-major), then siblings."""
+
+    def test_socket_of_first_threads(self):
+        t = Topology(2, 16, 2)
+        assert t.socket_of(0) == 0
+        assert t.socket_of(15) == 0
+        assert t.socket_of(16) == 1
+        assert t.socket_of(31) == 1
+
+    def test_socket_of_siblings(self):
+        t = Topology(2, 16, 2)
+        assert t.socket_of(32) == 0
+        assert t.socket_of(48) == 1
+
+    def test_sibling_pairs(self):
+        t = Topology(2, 16, 2)
+        assert t.sibling_of(0) == 32
+        assert t.sibling_of(32) == 0
+        assert t.sibling_of(17) == 49
+
+    def test_sibling_smt1_is_self(self):
+        t = Topology(1, 4, 1)
+        assert t.sibling_of(2) == 2
+
+    def test_physical_core_shared_by_siblings(self):
+        t = Topology(2, 16, 2)
+        assert t.physical_core_of(5) == t.physical_core_of(37) == 5
+
+    def test_thread_of(self):
+        t = Topology(2, 16, 2)
+        assert t.thread_of(5) == 0
+        assert t.thread_of(37) == 1
+
+    def test_smt_siblings(self):
+        t = Topology(2, 16, 2)
+        assert t.smt_siblings(37) == (5, 37)
+
+    def test_cpus_in_socket(self):
+        t = Topology(2, 2, 2)
+        assert t.cpus_in_socket(0) == [0, 1, 4, 5]
+        assert t.cpus_in_socket(1) == [2, 3, 6, 7]
+
+    def test_bad_cpu_rejected(self):
+        t = Topology(1, 2, 2)
+        with pytest.raises(ValueError):
+            t.socket_of(4)
+        with pytest.raises(ValueError):
+            t.cpus_in_socket(1)
+
+    def test_die_equals_socket(self):
+        t = Topology(2, 16, 2)
+        for cpu in t.all_cpus():
+            assert t.die_of(cpu) == t.socket_of(cpu)
+
+
+@given(st.integers(1, 4), st.integers(1, 20), st.sampled_from([1, 2]))
+def test_partition_properties(sockets, cores, smt):
+    """Property: sockets partition the cpus; sibling is an involution on
+    the same physical core and socket."""
+    t = Topology(sockets, cores, smt)
+    seen = []
+    for s in t.sockets():
+        seen.extend(t.cpus_in_socket(s))
+    assert sorted(seen) == t.all_cpus()
+    for cpu in t.all_cpus():
+        sib = t.sibling_of(cpu)
+        assert t.sibling_of(sib) == cpu
+        assert t.physical_core_of(sib) == t.physical_core_of(cpu)
+        assert t.socket_of(sib) == t.socket_of(cpu)

@@ -1,0 +1,85 @@
+"""Tests for the turbo tables (paper Table 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.turbo import (E7_8870_V4, RYZEN_4650G, TurboTable, XEON_5218,
+                            XEON_5220, XEON_6130)
+
+
+class TestTable3Values:
+    """The exact rows of Table 3."""
+
+    @pytest.mark.parametrize("active,mhz", [
+        (1, 3000), (2, 3000), (3, 2800), (4, 2700), (5, 2600),
+        (8, 2600), (12, 2600), (16, 2600), (20, 2600)])
+    def test_e7_8870(self, active, mhz):
+        assert E7_8870_V4.ceiling(active) == mhz
+
+    @pytest.mark.parametrize("active,mhz", [
+        (1, 3700), (2, 3700), (3, 3500), (4, 3500), (5, 3400),
+        (8, 3400), (9, 3100), (12, 3100), (13, 2800), (16, 2800)])
+    def test_6130(self, active, mhz):
+        assert XEON_6130.ceiling(active) == mhz
+
+    @pytest.mark.parametrize("active,mhz", [
+        (1, 3900), (2, 3900), (3, 3700), (4, 3700), (5, 3600),
+        (8, 3600), (9, 3100), (12, 3100), (13, 2800), (16, 2800)])
+    def test_5218(self, active, mhz):
+        assert XEON_5218.ceiling(active) == mhz
+
+    def test_nominal_frequencies(self):
+        assert E7_8870_V4.nominal_mhz == 2100
+        assert XEON_6130.nominal_mhz == 2100
+        assert XEON_5218.nominal_mhz == 2300
+
+    def test_min_frequencies(self):
+        assert E7_8870_V4.min_mhz == 1200
+        assert XEON_6130.min_mhz == 1000
+        assert XEON_5218.min_mhz == 1000
+
+    def test_max_turbo(self):
+        assert E7_8870_V4.max_turbo_mhz == 3000
+        assert XEON_6130.max_turbo_mhz == 3700
+        assert XEON_5218.max_turbo_mhz == 3900
+
+
+class TestCeilingSemantics:
+    def test_zero_active_returns_single_core_turbo(self):
+        assert XEON_6130.ceiling(0) == 3700
+
+    def test_beyond_table_clamps_to_last(self):
+        assert XEON_6130.ceiling(99) == 2800
+
+    def test_monotone_non_increasing(self):
+        for table in (E7_8870_V4, XEON_6130, XEON_5218, XEON_5220,
+                      RYZEN_4650G):
+            ceilings = [table.ceiling(k) for k in range(1, 25)]
+            assert ceilings == sorted(ceilings, reverse=True)
+
+    def test_allcore_at_least_nominal(self):
+        for table in (E7_8870_V4, XEON_6130, XEON_5218, XEON_5220,
+                      RYZEN_4650G):
+            assert table.limits[-1] >= table.nominal_mhz
+
+
+class TestValidation:
+    def test_rejects_increasing_limits(self):
+        with pytest.raises(ValueError):
+            TurboTable(min_mhz=1000, nominal_mhz=2000, limits=(2500, 2600))
+
+    def test_rejects_allcore_below_nominal(self):
+        with pytest.raises(ValueError):
+            TurboTable(min_mhz=1000, nominal_mhz=2000, limits=(2500, 1900))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TurboTable(min_mhz=1000, nominal_mhz=2000, limits=())
+
+
+@given(st.integers(1, 64), st.integers(1, 64))
+def test_ceiling_monotonicity_property(a, b):
+    """More active cores never raises the ceiling."""
+    lo, hi = min(a, b), max(a, b)
+    for table in (XEON_6130, E7_8870_V4):
+        assert table.ceiling(hi) <= table.ceiling(lo)

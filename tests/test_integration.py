@@ -1,0 +1,139 @@
+"""Cross-module integration tests: the paper's headline behaviours.
+
+These are slower than unit tests but assert the properties the whole
+reproduction stands on.  Thresholds are deliberately loose — they encode
+*shapes* (who wins, directions), not point estimates.
+"""
+
+import pytest
+
+from repro.core.params import NestParams
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.configure import ConfigureWorkload
+from repro.workloads.dacapo import DacapoWorkload
+from repro.workloads.messaging import HackbenchWorkload
+from repro.workloads.nas import NasWorkload
+
+M5218 = get_machine("5218_2s")
+M6130_4S = get_machine("6130_4s")
+ME7 = get_machine("e78870_4s")
+
+
+def run(wl, machine, sched, gov="schedutil", seed=1, **kw):
+    return run_experiment(wl, machine, sched, gov, seed=seed, **kw)
+
+
+class TestConfigureHeadline:
+    """§5.2: the software-configuration result."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for sched, gov in (("cfs", "schedutil"), ("cfs", "performance"),
+                           ("nest", "schedutil"), ("smove", "schedutil")):
+            out[(sched, gov)] = run(ConfigureWorkload("llvm_ninja",
+                                                      scale=0.6),
+                                    M5218, sched, gov)
+        return out
+
+    def test_nest_speedup_over_5pct(self, results):
+        base = results[("cfs", "schedutil")].makespan_us
+        nest = results[("nest", "schedutil")].makespan_us
+        assert base / nest - 1 > 0.05
+
+    def test_nest_nearly_eliminates_underload(self, results):
+        cfs_u = results[("cfs", "schedutil")].underload.underload_per_second
+        nest_u = results[("nest", "schedutil")].underload.underload_per_second
+        assert nest_u < cfs_u * 0.6
+
+    def test_nest_reaches_higher_frequencies(self, results):
+        cfs_f = results[("cfs", "schedutil")].freq_dist.top_bins_fraction()
+        nest_f = results[("nest", "schedutil")].freq_dist.top_bins_fraction()
+        assert nest_f > cfs_f + 0.3
+
+    def test_nest_saves_energy(self, results):
+        base = results[("cfs", "schedutil")].energy_joules
+        nest = results[("nest", "schedutil")].energy_joules
+        assert nest < base
+
+    def test_smove_far_from_nest_on_speed_shift(self, results):
+        """§5.2: Smove's speedup stays small on the 5218."""
+        base = results[("cfs", "schedutil")].makespan_us
+        smove = results[("smove", "schedutil")].makespan_us
+        nest = results[("nest", "schedutil")].makespan_us
+        smove_speedup = base / smove - 1
+        nest_speedup = base / nest - 1
+        assert smove_speedup < nest_speedup
+
+
+class TestDacapoHeadline:
+    """§5.3: high-underload apps win, few-task apps are unharmed."""
+
+    def test_h2_improves_on_4socket_6130(self):
+        base = run(DacapoWorkload("h2", scale=0.7), M6130_4S, "cfs")
+        nest = run(DacapoWorkload("h2", scale=0.7), M6130_4S, "nest")
+        assert base.makespan_us / nest.makespan_us - 1 > 0.04
+
+    def test_fop_within_noise(self):
+        base = run(DacapoWorkload("fop", scale=0.5), M6130_4S, "cfs")
+        nest = run(DacapoWorkload("fop", scale=0.5), M6130_4S, "nest")
+        assert abs(base.makespan_us / nest.makespan_us - 1) < 0.08
+
+
+class TestNasHeadline:
+    """§5.4: parity on 2-socket Skylake; no large regression anywhere."""
+
+    def test_mg_parity_on_2socket(self):
+        base = run(NasWorkload("mg", scale=0.3), M5218, "cfs")
+        nest = run(NasWorkload("mg", scale=0.3), M5218, "nest")
+        assert abs(base.makespan_us / nest.makespan_us - 1) < 0.10
+
+    def test_bt_speedup_on_e7(self):
+        base = run(NasWorkload("bt", scale=0.15), ME7, "cfs")
+        nest = run(NasWorkload("bt", scale=0.15), ME7, "nest")
+        assert base.makespan_us / nest.makespan_us - 1 > 0.10
+
+
+class TestHackbenchHeadline:
+    """§5.6: Nest's selection overhead shows on wakeup-dominated loads."""
+
+    def test_nest_slower_on_hackbench(self):
+        base = run(HackbenchWorkload(groups=4, pairs_per_group=3, loops=80),
+                   M5218, "cfs")
+        nest = run(HackbenchWorkload(groups=4, pairs_per_group=3, loops=80),
+                   M5218, "nest")
+        assert nest.makespan_us > base.makespan_us
+
+
+class TestWorkConservationInvariant:
+    def test_no_overload_with_placement_flag(self):
+        """With the §3.4 flag, Nest should essentially never pile tasks on
+        one core while others idle."""
+        res = run(ConfigureWorkload("gcc"), M5218, "nest")
+        assert res.underload.overload_per_second < 0.5
+
+    def test_determinism_across_policies_workload_shape(self):
+        """The workload structure (task count) is placement-independent."""
+        a = run(DacapoWorkload("pmd", scale=0.3), M5218, "cfs", seed=4)
+        b = run(DacapoWorkload("pmd", scale=0.3), M5218, "nest", seed=4)
+        assert a.n_tasks == b.n_tasks
+
+
+class TestAblationShapes:
+    def test_reserve_matters_for_configure(self):
+        """§5.2: removing the reserve nest degrades configure."""
+        full = run(ConfigureWorkload("mplayer", scale=0.5), M5218, "nest")
+        nores = run_experiment(ConfigureWorkload("mplayer", scale=0.5),
+                               M5218, "nest", "schedutil", seed=1,
+                               nest_params=NestParams().without("reserve"))
+        assert nores.makespan_us > full.makespan_us * 1.02
+
+    def test_spin_matters_for_h2(self):
+        """§5.3: removing spinning costs h2-class apps the most (the paper
+        measures 17-26% on the 4-socket 6130)."""
+        full = run(DacapoWorkload("h2"), M6130_4S, "nest")
+        nospin = run_experiment(DacapoWorkload("h2"), M6130_4S,
+                                "nest", "schedutil", seed=1,
+                                nest_params=NestParams().without("spin"))
+        assert nospin.makespan_us > full.makespan_us * 1.05

@@ -1,0 +1,151 @@
+"""End-to-end tests of the warm-core spin (§3.2) in the kernel."""
+
+import pytest
+
+from repro.core.nest import NestPolicy
+from repro.core.params import NestParams
+from repro.governors.schedutil import SchedutilGovernor
+from repro.hw.freqmodel import SPEED_SHIFT
+from repro.hw.machines import Machine
+from repro.hw.topology import Topology
+from repro.hw.turbo import XEON_5218
+from repro.kernel.scheduler_core import Kernel
+from repro.kernel.syscalls import Compute, Fork, Sleep, WaitChildren
+from repro.sim.clock import TICK_US
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.workloads.base import ms_of_work
+
+MACHINE = Machine(name="t", cpu_model="t", microarchitecture="t",
+                  topology=Topology(1, 2, 2), turbo=XEON_5218, pm=SPEED_SHIFT)
+
+
+def make(params=None):
+    eng = Engine(0)
+    policy = NestPolicy(params or NestParams())
+    kern = Kernel(eng, MACHINE, policy, SchedutilGovernor(),
+                  tracer=Tracer(MACHINE.n_cpus, record_segments=True))
+    return eng, kern, policy
+
+
+def spin_segments(kern):
+    return [s for s in kern.tracer.segments if s.spinning]
+
+
+class TestSpin:
+    def test_block_triggers_spin(self):
+        eng, kern, _ = make()
+
+        def beh(api):
+            yield Compute(ms_of_work(2))
+            yield Sleep(2_000)
+            yield Compute(ms_of_work(1))
+
+        kern.spawn(beh, "t")
+        kern.run_until_idle()
+        spins = spin_segments(kern)
+        assert spins, "blocking should have started a spin"
+
+    def test_spin_bounded_by_s_max(self):
+        eng, kern, _ = make()
+
+        def beh(api):
+            yield Compute(ms_of_work(1))
+            yield Sleep(10 * TICK_US)      # longer than S_max
+
+        kern.spawn(beh, "t")
+        kern.run_until_idle()
+        s_max_us = NestParams().s_max_ticks * TICK_US
+        for seg in spin_segments(kern):
+            assert seg.duration <= s_max_us + 1
+
+    def test_exit_does_not_spin(self):
+        eng, kern, _ = make()
+
+        def beh(api):
+            yield Compute(ms_of_work(1))
+
+        kern.spawn(beh, "t")
+        kern.run_until_idle()
+        assert spin_segments(kern) == []
+
+    def test_no_spin_when_disabled(self):
+        eng, kern, _ = make(NestParams(spin_enabled=False))
+
+        def beh(api):
+            yield Compute(ms_of_work(1))
+            yield Sleep(2_000)
+
+        kern.spawn(beh, "t")
+        kern.run_until_idle()
+        assert spin_segments(kern) == []
+
+    def test_spin_keeps_frequency_for_returning_task(self):
+        """The point of §3.2: a task that briefly blocks resumes on a core
+        still at a high frequency when the idle loop spun."""
+
+        def run(params):
+            eng, kern, _ = make(params)
+            freqs = {}
+
+            def beh(api):
+                yield Compute(ms_of_work(30))   # get the core hot
+                yield Sleep(6_000)              # pause > idle_hold
+                freqs["at_wake"] = kern.freq.freq_mhz(api.task.prev_cpu)
+                yield Compute(ms_of_work(1))
+
+            kern.spawn(beh, "t")
+            kern.run_until_idle()
+            return freqs["at_wake"]
+
+        with_spin = run(NestParams())
+        without = run(NestParams(spin_enabled=False))
+        assert with_spin > without
+
+    def test_spin_interrupted_by_placement(self):
+        """A task placed on a spinning core starts immediately; the spin
+        segment ends at that point."""
+        eng, kern, _ = make()
+
+        def child(api):
+            yield Compute(ms_of_work(0.5))
+
+        def parent(api):
+            yield Compute(ms_of_work(1))
+            yield Sleep(1_000)              # parent's core starts spinning
+            yield Fork(child)               # likely lands on a nest core
+            yield WaitChildren()
+
+        kern.spawn(parent, "p")
+        kern.run_until_idle()
+        # No spin segment may overlap a busy segment on the same core.
+        by_core = {}
+        for seg in kern.tracer.segments:
+            by_core.setdefault(seg.core, []).append(seg)
+        for segs in by_core.values():
+            segs.sort(key=lambda s: s.start)
+            for a, b in zip(segs, segs[1:]):
+                assert a.end <= b.start
+
+    def test_spin_stops_when_sibling_gets_task(self):
+        eng, kern, policy = make()
+        # cpu 0 and cpu 2 are SMT siblings on this 1x2x2 machine.
+        assert kern.topology.sibling_of(0) == 2
+
+        def blocker(api):
+            yield Compute(ms_of_work(1))
+            yield Sleep(7_000)
+
+        def hog(api):
+            yield Compute(ms_of_work(3))
+
+        t = kern._new_task(blocker, "blocker", None)
+        kern.enqueue(t, 0)
+        kern.run_until_idle(max_us=1_500)
+        assert kern.cpus[0].spinning
+
+        h = kern._new_task(hog, "hog", None)
+        kern.enqueue(h, 2)          # sibling becomes busy
+        assert not kern.cpus[0].spinning
+        kern.stop_when_idle = True
+        kern.run_until_idle()

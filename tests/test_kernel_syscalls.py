@@ -1,0 +1,94 @@
+"""Tests for the action vocabulary and synchronisation objects."""
+
+import pytest
+
+from repro.kernel.syscalls import (Barrier, BarrierWait, Channel, Compute,
+                                   Exit, Fork, Recv, Send, Sleep,
+                                   WaitChildren, Yield)
+
+
+class TestActions:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_zero_compute_ok(self):
+        assert Compute(0).cycles == 0
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-5)
+
+    def test_actions_are_frozen(self):
+        c = Compute(10)
+        with pytest.raises(AttributeError):
+            c.cycles = 5
+
+    def test_fork_defaults(self):
+        f = Fork(lambda api: iter(()))
+        assert f.name == "child"
+        assert f.args == ()
+
+
+class TestBarrier:
+    def test_needs_positive_parties(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+    def test_last_arriver_releases_waiters(self):
+        b = Barrier(3)
+        assert b.arrive("t1") is None
+        assert b.arrive("t2") is None
+        released = b.arrive("t3")
+        assert released == ["t1", "t2"]
+        assert b.n_waiting == 0
+
+    def test_generation_increments(self):
+        b = Barrier(2)
+        b.arrive("a")
+        b.arrive("b")
+        assert b.generation == 1
+        b.arrive("c")
+        b.arrive("d")
+        assert b.generation == 2
+
+    def test_single_party_barrier_never_blocks(self):
+        b = Barrier(1)
+        assert b.arrive("only") == []
+
+    def test_reusable(self):
+        b = Barrier(2)
+        b.arrive("a")
+        assert b.arrive("b") == ["a"]
+        assert b.arrive("c") is None
+        assert b.arrive("d") == ["c"]
+
+
+class TestChannel:
+    def test_put_without_receiver_queues_message(self):
+        ch = Channel()
+        assert ch.put("m") is None
+        ok, msg = ch.try_get()
+        assert ok and msg == "m"
+
+    def test_try_get_empty(self):
+        assert Channel().try_get() == (False, None)
+
+    def test_put_returns_waiting_receiver(self):
+        ch = Channel()
+        ch.receivers.append("taskA")
+        assert ch.put("m") == "taskA"
+        assert ch.receivers == []
+
+    def test_fifo_receivers(self):
+        ch = Channel()
+        ch.receivers.extend(["a", "b"])
+        assert ch.put("m1") == "a"
+        assert ch.put("m2") == "b"
+
+    def test_fifo_messages(self):
+        ch = Channel()
+        ch.put(1)
+        ch.put(2)
+        assert ch.try_get() == (True, 1)
+        assert ch.try_get() == (True, 2)

@@ -1,0 +1,167 @@
+"""Property-based tests over whole simulations.
+
+Hypothesis generates small random workload structures and scheduler
+configurations; the properties are the accounting invariants every valid
+run must satisfy, whatever the placement decisions were.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import run_experiment
+from repro.governors.performance import PerformanceGovernor
+from repro.hw.freqmodel import SPEED_SHIFT
+from repro.hw.machines import Machine, get_machine
+from repro.hw.topology import Topology
+from repro.hw.turbo import XEON_5218
+from repro.kernel.scheduler_core import Kernel
+from repro.kernel.syscalls import Compute, Fork, Sleep, WaitChildren
+from repro.kernel.task import TaskState
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.workloads.base import Workload, us_of_work
+
+MACHINE = Machine(name="prop", cpu_model="t", microarchitecture="t",
+                  topology=Topology(2, 3, 2), turbo=XEON_5218,
+                  pm=SPEED_SHIFT)
+
+
+class RandomTreeWorkload(Workload):
+    """A random fork tree with computes and sleeps."""
+
+    def __init__(self, seed: int, width: int, depth: int) -> None:
+        self.seed = seed
+        self.width = width
+        self.depth = depth
+        self.name = f"tree-{seed}-{width}x{depth}"
+
+    def start(self, kernel):
+        return kernel.spawn(self._node, name="root",
+                            args=(random.Random(self.seed), self.depth))
+
+    def _node(self, api, rng, depth):
+        yield Compute(us_of_work(rng.randrange(20, 400)))
+        if depth > 0:
+            for _ in range(rng.randrange(1, self.width + 1)):
+                yield Fork(self._node, name=f"n{depth}",
+                           args=(random.Random(rng.randrange(1 << 30)),
+                                 depth - 1))
+        if rng.random() < 0.4:
+            yield Sleep(rng.randrange(10, 500))
+        yield Compute(us_of_work(rng.randrange(10, 200)))
+        yield WaitChildren()
+
+
+@st.composite
+def tree_params(draw):
+    return (draw(st.integers(0, 10_000)),     # seed
+            draw(st.integers(1, 3)),          # width
+            draw(st.integers(0, 3)),          # depth
+            draw(st.sampled_from(["cfs", "nest", "smove"])))
+
+
+@settings(max_examples=12, deadline=None)
+@given(tree_params())
+def test_random_workloads_terminate_cleanly(params):
+    """Every task exits; counters return to zero; time/energy positive;
+    per-core trace segments never overlap."""
+    seed, width, depth, scheduler = params
+    eng = Engine(seed)
+    from repro.experiments.runner import make_governor, make_policy
+    tracer = Tracer(MACHINE.n_cpus, record_segments=True)
+    kern = Kernel(eng, MACHINE, make_policy(scheduler),
+                  make_governor("schedutil"), tracer=tracer)
+    RandomTreeWorkload(seed, width, depth).start(kern)
+    kern.run_until_idle(max_us=60_000_000)
+
+    assert kern.n_live == 0
+    assert kern.n_runnable == 0
+    assert all(t.state is TaskState.EXITED for t in kern.tasks.values())
+    assert eng.now > 0
+    assert kern.energy.energy_joules > 0
+
+    per_core = {}
+    for seg in tracer.segments:
+        per_core.setdefault(seg.core, []).append(seg)
+    for segs in per_core.values():
+        segs.sort(key=lambda s: s.start)
+        for a, b in zip(segs, segs[1:]):
+            assert a.end <= b.start
+
+    # Executed cycles are conserved: what tasks were asked to compute is
+    # what was accounted (within rounding of the 1 µs event grid).
+    for t in kern.tasks.values():
+        assert t.remaining_cycles == pytest.approx(0.0, abs=1e-6)
+        assert t.total_cycles >= 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 1000), st.sampled_from(["cfs", "nest"]))
+def test_same_seed_bitwise_deterministic(seed, scheduler):
+    """Two identical runs produce identical makespans and energy."""
+
+    def once():
+        eng = Engine(seed)
+        from repro.experiments.runner import make_governor, make_policy
+        kern = Kernel(eng, MACHINE, make_policy(scheduler),
+                      make_governor("schedutil"))
+        RandomTreeWorkload(seed, 2, 2).start(kern)
+        kern.run_until_idle(max_us=60_000_000)
+        return eng.now, kern.energy.energy_joules
+
+    t1, e1 = once()
+    t2, e2 = once()
+    assert t1 == t2
+    assert e1 == e2
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 1000))
+def test_nest_invariants_hold_throughout(seed):
+    """The primary and reserve nests stay disjoint and the reserve stays
+    bounded by R_max at every placement."""
+    from repro.core.nest import NestPolicy
+    from repro.governors.schedutil import SchedutilGovernor
+
+    eng = Engine(seed)
+    policy = NestPolicy()
+    kern = Kernel(eng, MACHINE, policy, SchedutilGovernor())
+
+    violations = []
+    orig_fork = policy.select_cpu_fork
+    orig_wake = policy.select_cpu_wakeup
+
+    def check():
+        if policy.primary & policy.reserve:
+            violations.append("overlap")
+        if len(policy.reserve) > policy.params.r_max:
+            violations.append("reserve overflow")
+
+    def fork(task, parent_cpu):
+        cpu = orig_fork(task, parent_cpu)
+        check()
+        return cpu
+
+    def wake(task, waker_cpu):
+        cpu = orig_wake(task, waker_cpu)
+        check()
+        return cpu
+
+    policy.select_cpu_fork = fork
+    policy.select_cpu_wakeup = wake
+    RandomTreeWorkload(seed, 3, 2).start(kern)
+    kern.run_until_idle(max_us=60_000_000)
+    assert violations == []
+
+
+def test_larger_machine_is_not_slower_for_parallel_work():
+    """Sanity: the same parallel workload on a machine with more cores
+    finishes no later (work conservation at the macro level)."""
+    times = {}
+    for mk in ("ryzen_4650g", "5218_2s"):
+        res = run_experiment(RandomTreeWorkload(7, 3, 3), get_machine(mk),
+                             "cfs", "schedutil", seed=7)
+        times[mk] = res.makespan_us
+    assert times["5218_2s"] <= times["ryzen_4650g"] * 1.2

@@ -1,0 +1,108 @@
+"""Deeper tests for the server and messaging workloads (§5.6)."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.messaging import HackbenchWorkload, SchbenchWorkload
+from repro.workloads.multiapp import MultiAppWorkload
+from repro.workloads.phoronix import PhoronixWorkload
+from repro.workloads.servers import (KeyValueStoreWorkload, ServerWorkload,
+                                     apache_siege, leveldb, nginx, redis)
+
+SMALL = get_machine("ryzen_4650g")
+
+
+def run(wl, sched="cfs", seed=1, machine=SMALL):
+    return run_experiment(wl, machine, sched, "schedutil", seed=seed)
+
+
+class TestServerWorkload:
+    def test_all_requests_served(self):
+        wl = ServerWorkload(n_workers=4, n_requests=80)
+        run(wl)
+        assert wl.recorder.count == 80
+
+    def test_latencies_positive(self):
+        wl = ServerWorkload(n_workers=4, n_requests=50)
+        run(wl)
+        assert min(wl.recorder.samples_us) >= 0
+        assert wl.recorder.p99() >= wl.recorder.p50()
+
+    def test_more_workers_lower_tail(self):
+        tails = {}
+        for n in (1, 8):
+            wl = ServerWorkload(n_workers=n, n_requests=120,
+                                request_us=400, arrival_us=60)
+            run(wl)
+            tails[n] = wl.recorder.p99()
+        assert tails[8] < tails[1]
+
+    def test_factories(self):
+        assert nginx().n_workers == 4
+        assert apache_siege(16).name == "apache-siege-c16"
+        assert isinstance(leveldb(), KeyValueStoreWorkload)
+        assert isinstance(redis(), KeyValueStoreWorkload)
+
+    def test_kv_compaction_forks_children(self):
+        wl = leveldb()
+        res = run(wl)
+        assert res.n_tasks > 5     # main + background compactions
+
+    def test_redis_lighter_than_leveldb(self):
+        r1 = run(leveldb(), seed=2)
+        r2 = run(redis(), seed=2)
+        assert r2.n_tasks <= r1.n_tasks
+
+
+class TestHackbench:
+    def test_message_count_conserved(self):
+        wl = HackbenchWorkload(groups=2, pairs_per_group=2, loops=25)
+        res = run(wl)
+        # 2 groups x 2 pairs x 25 loops x 2 directions of messages; every
+        # Send wakes its peer: wakeups scale with the message count.
+        assert res.total_wakeups >= 2 * 2 * 25
+
+    def test_loops_scale_runtime(self):
+        short = run(HackbenchWorkload(groups=2, pairs_per_group=2, loops=20),
+                    seed=3)
+        long = run(HackbenchWorkload(groups=2, pairs_per_group=2, loops=60),
+                   seed=3)
+        assert long.makespan_us > short.makespan_us * 1.5
+
+
+class TestSchbench:
+    def test_poison_pills_terminate_workers(self):
+        wl = SchbenchWorkload(message_threads=2, workers_per_thread=2,
+                              requests=10)
+        res = run(wl)
+        assert res.makespan_us > 0
+        assert wl.recorder.count == 20
+
+    def test_latency_includes_work_time(self):
+        wl = SchbenchWorkload(message_threads=1, workers_per_thread=1,
+                              requests=10, work_us=500)
+        run(wl)
+        # Latency = wake + run + 500 us of work, at >= 1 GHz-equivalent.
+        assert wl.recorder.p50() >= 100
+
+
+class TestMultiApp:
+    def test_completion_before_run_raises(self):
+        wl = MultiAppWorkload([nginx(n_requests=30)])
+        with pytest.raises(RuntimeError):
+            wl.completion_times_us()
+
+    def test_pair_runs_concurrently(self):
+        a = PhoronixWorkload("zstd-compression-7", scale=0.2)
+        b = PhoronixWorkload("libgav1-4", scale=0.2)
+        wl = MultiAppWorkload([a, b])
+        res = run(wl, machine=get_machine("6130_2s"))
+        times = wl.completion_times_us()
+        # Both finished within the run, and the run ended with the later.
+        assert max(times.values()) <= res.makespan_us
+        assert len(times) == 2
+
+    def test_name_composition(self):
+        wl = MultiAppWorkload([nginx(), redis()])
+        assert wl.name == "multi:nginx+redis"

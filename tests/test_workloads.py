@@ -1,0 +1,191 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.configure import (CONFIGURE_PROFILES, ConfigureWorkload,
+                                       configure_names)
+from repro.workloads.dacapo import (DACAPO_PROFILES, DacapoWorkload,
+                                    HIGH_UNDERLOAD_APPS, dacapo_names)
+from repro.workloads.messaging import HackbenchWorkload, SchbenchWorkload
+from repro.workloads.multiapp import MultiAppWorkload
+from repro.workloads.nas import NAS_PROFILES, NasWorkload, nas_names
+from repro.workloads.phoronix import (FIG13_PROFILES, PhoronixWorkload,
+                                      fig13_names, suite_population)
+from repro.workloads.servers import (apache_siege, leveldb, nginx, redis)
+
+SMALL = get_machine("ryzen_4650g")   # 12 cpus: fast test runs
+M2S = get_machine("6130_2s")
+
+
+def run(wl, machine=SMALL, seed=1, **kw):
+    return run_experiment(wl, machine, "cfs", "schedutil", seed=seed, **kw)
+
+
+class TestConfigure:
+    def test_profile_catalogue(self):
+        assert len(CONFIGURE_PROFILES) == 11
+        assert "llvm_ninja" in configure_names()
+
+    def test_unknown_package_rejected(self):
+        with pytest.raises(KeyError):
+            ConfigureWorkload("not-a-package")
+
+    def test_runs_to_completion(self):
+        res = run(ConfigureWorkload("gcc"))
+        assert res.n_tasks > 10
+        assert res.makespan_us > 0
+
+    def test_scale_reduces_tests(self):
+        full = run(ConfigureWorkload("gcc", scale=1.0))
+        half = run(ConfigureWorkload("gcc", scale=0.4))
+        assert half.n_tasks < full.n_tasks
+
+    def test_deterministic_structure_across_schedulers(self):
+        """Same seed -> same number of tasks whatever the scheduler."""
+        a = run_experiment(ConfigureWorkload("gcc"), SMALL, "cfs",
+                           "schedutil", seed=7)
+        b = run_experiment(ConfigureWorkload("gcc"), SMALL, "nest",
+                           "schedutil", seed=7)
+        assert a.n_tasks == b.n_tasks
+
+    def test_same_seed_same_makespan(self):
+        a = run(ConfigureWorkload("gdb"), seed=5)
+        b = run(ConfigureWorkload("gdb"), seed=5)
+        assert a.makespan_us == b.makespan_us
+
+    def test_different_seed_different_makespan(self):
+        a = run(ConfigureWorkload("gdb"), seed=5)
+        b = run(ConfigureWorkload("gdb"), seed=6)
+        assert a.makespan_us != b.makespan_us
+
+    def test_mostly_sequential(self):
+        """Configure runs mostly one task at a time (the paper's premise):
+        underload plus 1 stays small."""
+        res = run(ConfigureWorkload("gcc"), machine=M2S)
+        assert res.underload.underload_per_second < 8
+
+
+class TestDacapo:
+    def test_profile_catalogue(self):
+        assert len(DACAPO_PROFILES) == 21
+        assert set(HIGH_UNDERLOAD_APPS) <= set(dacapo_names())
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            DacapoWorkload("not-an-app")
+
+    def test_few_task_apps_have_low_concurrency(self):
+        for name in ("fop", "luindex", "jython"):
+            assert DACAPO_PROFILES[name].few_tasks
+            assert DACAPO_PROFILES[name].n_workers <= 4
+
+    def test_h2_runs(self):
+        res = run(DacapoWorkload("h2", scale=0.3), machine=M2S)
+        assert res.n_tasks >= 13   # main + 12 workers (+ gc)
+
+    def test_worker_count_machine_relative(self):
+        wl = DacapoWorkload("lusearch")
+
+        class FakeKernel:
+            topology = M2S.topology
+
+        assert wl.n_workers_on(FakeKernel()) == M2S.topology.n_cpus // 2
+
+    def test_token_apps_make_progress(self):
+        res = run(DacapoWorkload("tradebeans", scale=0.25), machine=M2S)
+        assert res.makespan_us > 0
+
+
+class TestNas:
+    def test_profile_catalogue(self):
+        assert len(NAS_PROFILES) == 9
+        assert nas_names() == sorted(NAS_PROFILES)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            NasWorkload("zz")
+
+    def test_one_task_per_hw_thread(self):
+        res = run(NasWorkload("is", scale=0.5))
+        assert res.n_tasks == SMALL.n_cpus
+
+    def test_explicit_thread_count(self):
+        res = run(NasWorkload("is", scale=0.5, n_threads=4))
+        assert res.n_tasks == 4
+
+    def test_ep_is_single_round(self):
+        assert NAS_PROFILES["ep"].rounds == 1
+
+    def test_barriers_keep_tasks_synchronised(self):
+        res = run(NasWorkload("mg", scale=0.3, n_threads=6))
+        assert res.makespan_us > 0
+        assert res.total_wakeups > 0
+
+
+class TestPhoronix:
+    def test_fig13_catalogue(self):
+        assert len(FIG13_PROFILES) == 27
+        assert "zstd-compression-7" in fig13_names()
+        assert "rodinia-5" in fig13_names()
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(KeyError):
+            PhoronixWorkload("not-a-test")
+
+    @pytest.mark.parametrize("test", ["zstd-compression-7", "rodinia-5",
+                                      "oidn-1", "libgav1-4", "cassandra-1",
+                                      "graphics-magick-4"])
+    def test_each_kind_runs(self, test):
+        res = run(PhoronixWorkload(test, scale=0.3))
+        assert res.makespan_us > 0
+        assert res.n_tasks > 1
+
+    def test_population_is_seeded(self):
+        a = [w.name for w in suite_population(20, seed=3)]
+        b = [w.name for w in suite_population(20, seed=3)]
+        assert a == b
+
+    def test_population_size_and_mix(self):
+        pop = suite_population(40, seed=1)
+        assert len(pop) == 40
+        kinds = {w.profile.kind for w in pop}
+        assert {"steady", "barriered"} <= kinds
+
+
+class TestMessagingAndServers:
+    def test_hackbench_completes(self):
+        res = run(HackbenchWorkload(groups=2, pairs_per_group=2, loops=30))
+        assert res.n_tasks == 1 + 2 * 2 * 2
+
+    def test_schbench_records_latencies(self):
+        wl = SchbenchWorkload(message_threads=2, workers_per_thread=3,
+                              requests=15)
+        run(wl)
+        assert wl.recorder.count == 2 * 15
+        assert wl.recorder.p999() >= wl.recorder.p50()
+
+    def test_server_records_request_latencies(self):
+        wl = nginx(n_requests=60)
+        run(wl)
+        assert wl.recorder.count == 60
+
+    def test_apache_siege_scales_with_concurrency(self):
+        assert apache_siege(32).n_workers == 32
+
+    def test_kv_stores(self):
+        for factory in (leveldb, redis):
+            res = run(factory())
+            assert res.n_tasks > 1
+
+    def test_multiapp_tracks_roots(self):
+        wl = MultiAppWorkload([leveldb(), redis()])
+        run(wl)
+        times = wl.completion_times_us()
+        assert set(times) == {"leveldb", "redis"}
+        assert all(t > 0 for t in times.values())
+
+    def test_multiapp_requires_parts(self):
+        with pytest.raises(ValueError):
+            MultiAppWorkload([])

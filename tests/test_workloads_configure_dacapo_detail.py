@@ -1,0 +1,83 @@
+"""Deeper behavioural tests for the configure and DaCapo generators."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.configure import CONFIGURE_PROFILES, ConfigureWorkload
+from repro.workloads.dacapo import DACAPO_PROFILES, DacapoWorkload
+
+SMALL = get_machine("ryzen_4650g")
+M2S = get_machine("6130_2s")
+
+
+def run(wl, sched="cfs", seed=1, machine=SMALL):
+    return run_experiment(wl, machine, sched, "schedutil", seed=seed)
+
+
+class TestConfigureDetail:
+    def test_task_count_tracks_n_tests(self):
+        res = run(ConfigureWorkload("gcc"))
+        profile = CONFIGURE_PROFILES["gcc"]
+        # At least one child per test; bursts and pipelines add more.
+        assert res.n_tasks >= profile.n_tests + 1
+        assert res.n_tasks <= profile.n_tests * 4 + 1
+
+    def test_pipeline_children_fork_grandchildren(self):
+        """Packages with pipeline_frac > 0 create depth-2 task trees."""
+        res = run(ConfigureWorkload("ffmpeg"), seed=3)
+        # ffmpeg has 35% pipelines over 100 tests: far more tasks than
+        # tests alone would produce.
+        assert res.n_tasks > CONFIGURE_PROFILES["ffmpeg"].n_tests * 1.2
+
+    def test_nodejs_is_trivial_profile(self):
+        p = CONFIGURE_PROFILES["nodejs"]
+        assert p.n_tests < 20
+        assert p.long_frac > 0.5
+        assert p.long_ms > 30
+
+    def test_runtimes_ordered_like_paper(self):
+        """The paper's CFS-schedutil runtimes order erlang > gcc."""
+        erlang = run(ConfigureWorkload("erlang", scale=0.3), machine=M2S)
+        gcc = run(ConfigureWorkload("gcc", scale=0.3), machine=M2S)
+        assert erlang.makespan_us > gcc.makespan_us * 2
+
+    def test_profiles_cover_paper_packages(self):
+        assert set(CONFIGURE_PROFILES) == {
+            "erlang", "ffmpeg", "gcc", "gdb", "imagemagick", "linux",
+            "llvm_ninja", "llvm_unix", "mplayer", "nodejs", "php"}
+
+
+class TestDacapoDetail:
+    def test_gc_helpers_forked(self):
+        res = run(DacapoWorkload("h2", scale=0.5), machine=M2S)
+        # main + 12 workers + gc coordinator + gc helpers
+        assert res.n_tasks > 14
+
+    def test_tokens_bound_concurrency(self):
+        """Effective parallelism never exceeds the token count by much:
+        overload stays near zero and the underload peak is bounded."""
+        res = run(DacapoWorkload("h2", scale=0.5), machine=M2S)
+        profile = DACAPO_PROFILES["h2"]
+        assert res.underload.total_overload < 60
+
+    def test_few_task_apps_stay_sequentialish(self):
+        res = run(DacapoWorkload("fop", scale=0.5), machine=M2S)
+        assert res.underload.underload_per_second < 2.0
+
+    def test_scale_shrinks_runtime(self):
+        a = run(DacapoWorkload("pmd", scale=0.25), machine=M2S, seed=2)
+        b = run(DacapoWorkload("pmd", scale=0.75), machine=M2S, seed=2)
+        assert b.makespan_us > a.makespan_us * 1.5
+
+    def test_every_profile_runs_on_small_machine(self):
+        for app in ("avrora", "kafka-eval", "zxing-eval", "sunflow"):
+            res = run(DacapoWorkload(app, scale=0.15))
+            assert res.makespan_us > 0
+
+    def test_worker_migration_penalty_state_reset(self):
+        """The shared-home cache state is per-workload-instance; two runs
+        of fresh instances give identical results."""
+        a = run(DacapoWorkload("h2", scale=0.3), machine=M2S, seed=9)
+        b = run(DacapoWorkload("h2", scale=0.3), machine=M2S, seed=9)
+        assert a.makespan_us == b.makespan_us

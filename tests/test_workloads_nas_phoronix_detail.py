@@ -1,0 +1,92 @@
+"""Deeper behavioural tests for the NAS and Phoronix generators."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.nas import NAS_PROFILES, NasWorkload
+from repro.workloads.phoronix import (FIG13_PROFILES, PhoronixProfile,
+                                      PhoronixWorkload, suite_population)
+
+SMALL = get_machine("ryzen_4650g")
+
+
+def run(wl, sched="cfs", seed=1, machine=SMALL):
+    return run_experiment(wl, machine, sched, "schedutil", seed=seed)
+
+
+class TestNasDetail:
+    def test_rounds_scale_with_scale(self):
+        short = run(NasWorkload("mg", scale=0.2, n_threads=4), seed=2)
+        long = run(NasWorkload("mg", scale=0.6, n_threads=4), seed=2)
+        # 3x the rounds; the serial init amortises the ratio below 3.
+        assert long.makespan_us > short.makespan_us * 1.4
+
+    def test_imbalance_causes_wakeups(self):
+        """Imbalanced barrier rounds make early arrivers block and wake."""
+        res = run(NasWorkload("lu", scale=0.2, n_threads=6), seed=1)
+        assert res.total_wakeups > 10
+
+    def test_ep_mostly_computes(self):
+        """The embarrassingly-parallel kernel barely blocks."""
+        res = run(NasWorkload("ep", scale=1.0, n_threads=6), seed=1)
+        per_thread = res.total_wakeups / res.n_tasks
+        assert per_thread <= 2
+
+    def test_profiles_have_positive_parameters(self):
+        for p in NAS_PROFILES.values():
+            assert p.chunk_ms > 0 and p.rounds >= 1 and p.imbalance >= 0
+
+    def test_cg_is_fine_grained(self):
+        assert NAS_PROFILES["cg"].chunk_ms < NAS_PROFILES["bt"].chunk_ms
+
+
+class TestPhoronixDetail:
+    def test_profile_kinds_cover_all_engines(self):
+        kinds = {p.kind for p in FIG13_PROFILES.values()}
+        assert kinds == {"shortburst", "pulse", "steady", "barriered",
+                         "churny", "frame"}
+
+    def test_custom_profile(self):
+        prof = PhoronixProfile("custom", "steady", n_threads=3, work_ms=20)
+        res = run(PhoronixWorkload(profile=prof, test="custom"))
+        assert res.n_tasks == 4       # main + 3 threads
+        assert res.workload == "phoronix-custom"
+
+    def test_bad_kind_rejected_at_run(self):
+        prof = PhoronixProfile("weird", "quantum", n_threads=2)
+        with pytest.raises(Exception):
+            run(PhoronixWorkload(profile=prof, test="weird"))
+
+    def test_shortburst_task_count(self):
+        prof = PhoronixProfile("sb", "shortburst", waves=10, wave_width=3)
+        res = run(PhoronixWorkload(profile=prof, test="sb"))
+        assert res.n_tasks == 1 + 10 * 3
+
+    def test_pulse_threads_sleep_between_bursts(self):
+        prof = PhoronixProfile("pl", "pulse", n_threads=4, job_ms=0.3,
+                               work_ms=6, pulse_gap_us=500)
+        res = run(PhoronixWorkload(profile=prof, test="pl"))
+        assert res.total_wakeups > 4 * 5   # many pulse wakeups
+
+    def test_zstd_profiles_are_pulse(self):
+        assert FIG13_PROFILES["zstd-compression-7"].kind == "pulse"
+        assert FIG13_PROFILES["rodinia-5"].n_threads == 36
+
+    def test_population_classes_weighted_toward_saturating(self):
+        pop = suite_population(100, seed=11)
+        saturating = sum(1 for w in pop
+                         if "saturating" in w.profile.name)
+        assert saturating > 40
+
+    def test_population_distinct_names(self):
+        names = [w.name for w in suite_population(50, seed=2)]
+        assert len(set(names)) == 50
+
+    def test_machine_relative_thread_counts(self):
+        wl = PhoronixWorkload("oidn-1")
+
+        class FakeKernel:
+            topology = SMALL.topology
+
+        assert wl.n_threads_on(FakeKernel()) == SMALL.topology.n_cpus

@@ -1,0 +1,26 @@
+# Development entry points.  Everything runs from the source tree
+# (PYTHONPATH=src), no install required.
+
+PYTHON  ?= python
+PYPATH  := PYTHONPATH=src
+JOBS    ?=
+
+.PHONY: test bench profile clean
+
+## Run the tier-1 test suite.
+test:
+	$(PYPATH) $(PYTHON) -m pytest -q
+
+## Run the paper-artefact benchmark suite (uses the on-disk result cache;
+## REPRO_NO_CACHE=1 disables it, `make clean` drops it).
+bench:
+	$(PYPATH) $(PYTHON) -m pytest benchmarks -q -p no:cacheprovider
+
+## Time the representative configure sweep; PROFILE_ARGS adds flags,
+## e.g. `make profile PROFILE_ARGS="--profile"` for a cProfile breakdown.
+profile:
+	$(PYPATH) $(PYTHON) benchmarks/profile_sweep.py --repeat 10 $(PROFILE_ARGS)
+
+clean:
+	rm -rf .repro-cache .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,94 @@
+"""Profiling harness for the simulation engine's hot paths.
+
+Runs a representative configure sweep (the Figure 5 shape: llvm_ninja on
+the Cascade Lake 5218 under every standard combo) single-process and
+reports wall time, events processed and engine throughput, optionally with
+a cProfile breakdown.  This is the harness used to drive — and to keep
+honest — the hot-path optimization work:
+
+    PYTHONPATH=src python benchmarks/profile_sweep.py            # timing
+    PYTHONPATH=src python benchmarks/profile_sweep.py --profile  # + cProfile
+    PYTHONPATH=src python benchmarks/profile_sweep.py --phoronix # other sweep
+
+Reference numbers on the CI container (1 cpu, Python 3.11), measured
+un-profiled with ``--repeat 10`` (40 simulations):
+
+* seed engine (PR 0):       ~3.23 s
+* after the hot-path work:  ~1.87 s   (~1.7x)
+
+Do not trust timings taken with ``--profile``: cProfile's tracing overhead
+roughly doubles the wall time and distorts ratios.
+
+The makespans/energies printed at the end are deterministic — if an
+optimization changes them, it changed simulation semantics and
+``ENGINE_VERSION`` must be bumped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.experiments.runner import STANDARD_COMBOS, run_experiment
+from repro.hw.machines import get_machine
+from repro.workloads.catalog import make_workload
+
+#: The representative sweep: one configure workload, all standard combos.
+CONFIGURE_SWEEP = [("configure-llvm_ninja", "5218_2s", s, g, 1, 0.6)
+                   for s, g in STANDARD_COMBOS]
+
+#: Alternative: a Phoronix pair on both Figure 13 machines.
+PHORONIX_SWEEP = [(f"phoronix-{name}", machine, s, g, 1, 0.6)
+                  for name in ("zstd-compression-10", "libavif-avifenc-1")
+                  for machine in ("5218_2s", "e78870_4s")
+                  for s, g in (("cfs", "schedutil"), ("nest", "schedutil"))]
+
+
+def run_sweep(sweep):
+    results = []
+    for workload, machine, scheduler, governor, seed, scale in sweep:
+        wl = make_workload(workload, scale=scale)
+        results.append(run_experiment(wl, get_machine(machine), scheduler,
+                                      governor, seed=seed))
+    return results
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--profile", action="store_true",
+                    help="print a cProfile breakdown (top 25 by cumulative)")
+    ap.add_argument("--phoronix", action="store_true",
+                    help="profile the Phoronix sweep instead of configure")
+    ap.add_argument("--repeat", type=int, default=1,
+                    help="repeat the sweep N times (steadier timing)")
+    args = ap.parse_args()
+
+    sweep = PHORONIX_SWEEP if args.phoronix else CONFIGURE_SWEEP
+    profiler = cProfile.Profile() if args.profile else None
+
+    t0 = time.perf_counter()
+    if profiler:
+        profiler.enable()
+    for _ in range(args.repeat):
+        results = run_sweep(sweep)
+    if profiler:
+        profiler.disable()
+    wall = time.perf_counter() - t0
+
+    events = sum(r.events_processed for r in results) * args.repeat
+    print(f"sweep: {len(sweep) * args.repeat} simulations in {wall:.3f}s — "
+          f"{events:,} events, {events / wall:,.0f} events/s")
+    for r in results:
+        print(f"  {r.workload} [{r.label}]  makespan={r.makespan_us}us  "
+              f"energy={r.energy_joules:.6f}J")
+
+    if profiler:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A :class:`RunSpec` fully determines a simulation (the engine is
+deterministic), so its canonical JSON — machine, workload and scale,
+scheduler, governor, Nest parameters, kernel config, seed — hashed
+together with the engine-version salt is a content address for the
+:class:`RunResult`.  Re-running a figure or a benchmark sweep then only
+simulates cache misses; everything else is a JSON read.
+
+Entries live under ``.repro-cache/<hh>/<hash>.json`` (sharded by the first
+two hex digits; override the root with ``$REPRO_CACHE_DIR``).  Writes are
+atomic (temp file + rename) so concurrent sweep workers never expose a
+torn entry.  :data:`repro.sim.engine.ENGINE_VERSION` is mixed into every
+key: bumping it after a semantic engine change orphans all stale entries
+at once.
+
+Wall-clock telemetry (``sim_wall_s``, ``events_processed``) is stored with
+the entry, so a hit reports the cost of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..hw.machines import get_machine
+from ..metrics.freqdist import FreqDistribution
+from ..metrics.summary import RunResult
+from ..metrics.underload import UnderloadResult
+from ..sim.engine import ENGINE_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .parallel import RunSpec
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump when the cache *format* (not the engine) changes shape.
+FORMAT_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+def spec_key(spec: "RunSpec") -> str:
+    """Stable content address of one simulation configuration."""
+    payload: Dict[str, Any] = {
+        "engine_version": ENGINE_VERSION,
+        "format": FORMAT_VERSION,
+        "machine": spec.machine,
+        "workload": spec.workload,
+        "scale": spec.scale,
+        "scheduler": spec.scheduler,
+        "governor": spec.governor,
+        "seed": spec.seed,
+        "max_us": spec.max_us,
+        "nest_params": (None if spec.nest_params is None
+                        else dataclasses.asdict(spec.nest_params)),
+        "kernel_config": (None if spec.kernel_config is None
+                          else dataclasses.asdict(spec.kernel_config)),
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# RunResult <-> JSON
+# ---------------------------------------------------------------------------
+
+def result_to_jsonable(result: RunResult, machine_key: str) -> Dict[str, Any]:
+    """Serialize everything deterministic about a RunResult.
+
+    Trace segments are intentionally not cached (they are huge and only
+    trace-shaped benchmarks want them; those bypass the cache).
+    """
+    under = result.underload
+    fdist = result.freq_dist
+    return {
+        "machine_key": machine_key,
+        "scheduler": result.scheduler,
+        "governor": result.governor,
+        "machine": result.machine,
+        "workload": result.workload,
+        "seed": result.seed,
+        "makespan_us": result.makespan_us,
+        "energy_joules": result.energy_joules,
+        "underload": None if under is None else {
+            "interval_us": under.interval_us,
+            "series": list(under.series),
+            "end_us": under.end_us,
+        },
+        "freq_dist": None if fdist is None else {
+            "bin_time_us": list(fdist.bin_time_us),
+            "total_us": fdist.total_us,
+        },
+        "n_tasks": result.n_tasks,
+        "n_migrations": result.n_migrations,
+        "total_wakeups": result.total_wakeups,
+        "wakeup_latency_us": result.wakeup_latency_us,
+        "policy_stats": dict(result.policy_stats),
+        "extra": dict(result.extra),
+        "sim_wall_s": result.sim_wall_s,
+        "events_processed": result.events_processed,
+    }
+
+
+def result_from_jsonable(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a RunResult equal (field by field) to the cached one."""
+    under = None
+    if data["underload"] is not None:
+        u = data["underload"]
+        under = UnderloadResult(u["interval_us"], list(u["series"]),
+                                u["end_us"])
+    fdist = None
+    if data["freq_dist"] is not None:
+        fdist = FreqDistribution(get_machine(data["machine_key"]))
+        fdist.bin_time_us = list(data["freq_dist"]["bin_time_us"])
+        fdist.total_us = data["freq_dist"]["total_us"]
+    return RunResult(
+        scheduler=data["scheduler"],
+        governor=data["governor"],
+        machine=data["machine"],
+        workload=data["workload"],
+        seed=data["seed"],
+        makespan_us=data["makespan_us"],
+        energy_joules=data["energy_joules"],
+        underload=under,
+        freq_dist=fdist,
+        n_tasks=data["n_tasks"],
+        n_migrations=data["n_migrations"],
+        total_wakeups=data["total_wakeups"],
+        wakeup_latency_us=data["wakeup_latency_us"],
+        policy_stats=dict(data["policy_stats"]),
+        extra=dict(data["extra"]),
+        sim_wall_s=data["sim_wall_s"],
+        events_processed=data["events_processed"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed RunResult store under a root directory."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # -- path plumbing ---------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- spec-level API --------------------------------------------------
+
+    def cacheable(self, spec: "RunSpec") -> bool:
+        """Trace-recording runs are not cached (segments are not stored)."""
+        return not spec.record_trace
+
+    def get_spec(self, spec: "RunSpec") -> Optional[RunResult]:
+        if not self.cacheable(spec):
+            return None
+        return self.get(spec_key(spec))
+
+    def put_spec(self, spec: "RunSpec", result: RunResult) -> None:
+        if not self.cacheable(spec):
+            return
+        self.put(spec_key(spec), result_to_jsonable(result, spec.machine))
+
+    # -- key-level API ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_jsonable(data)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total size on disk (plus session hit counters)."""
+        n = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                n += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        return {"root": str(self.root), "entries": n, "bytes": size,
+                "session_hits": self.hits, "session_misses": self.misses}
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        n = self.stats()["entries"]
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return n

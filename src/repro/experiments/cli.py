@@ -5,55 +5,42 @@ Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
     python -m repro list                 # machines, workloads, experiments
     python -m repro run --workload configure-llvm_ninja \
         --machine 5218_2s --scheduler nest --governor schedutil
-    python -m repro compare --workload dacapo-h2 --machine 6130_4s
+    python -m repro compare --workload dacapo-h2 --machine 6130_4s --jobs 8
+    python -m repro sweep fig5 --seeds 2 --scale 0.5   # registry sweep
+    python -m repro cache stats          # result-cache maintenance
     python -m repro describe fig5        # registry entry for an artefact
+
+Sweeping commands (``compare``, ``sweep``) parallelise over worker
+processes (``--jobs`` / ``$REPRO_JOBS``, default: all cpus) and consult
+the content-addressed result cache under ``.repro-cache/`` unless
+``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from ..analysis.tables import pct, render_table
 from ..hw.machines import ALL_MACHINES, get_machine
-from ..workloads.base import Workload
-from ..workloads.configure import ConfigureWorkload, configure_names
-from ..workloads.dacapo import DacapoWorkload, dacapo_names
-from ..workloads.messaging import HackbenchWorkload
-from ..workloads.nas import NasWorkload, nas_names
-from ..workloads.phoronix import PhoronixWorkload, fig13_names
-from ..workloads.servers import leveldb, nginx, redis
-from .registry import EXPERIMENTS, get_experiment
+# Re-exported for backward compatibility: the catalogue used to live here.
+from ..workloads.catalog import make_workload, workload_names
+from .cache import ResultCache
+from .parallel import SweepExecutor
+from .registry import EXPERIMENTS, get_experiment, specs_for
 from .runner import STANDARD_COMBOS, compare, run_experiment
 
-
-def make_workload(name: str, scale: float = 1.0) -> Workload:
-    """Build a workload from its canonical name (see ``list``)."""
-    if name.startswith("configure-"):
-        return ConfigureWorkload(name.removeprefix("configure-"), scale=scale)
-    if name.startswith("dacapo-"):
-        return DacapoWorkload(name.removeprefix("dacapo-"), scale=scale)
-    if name.startswith("nas-"):
-        kern = name.removeprefix("nas-").removesuffix(".C")
-        return NasWorkload(kern, scale=scale)
-    if name.startswith("phoronix-"):
-        return PhoronixWorkload(name.removeprefix("phoronix-"), scale=scale)
-    if name == "hackbench":
-        return HackbenchWorkload()
-    simple = {"nginx": nginx, "leveldb": leveldb, "redis": redis}
-    if name in simple:
-        return simple[name]()
-    raise KeyError(f"unknown workload {name!r}; try 'list'")
+__all__ = ["build_parser", "main", "make_workload", "workload_names"]
 
 
-def workload_names() -> List[str]:
-    out = [f"configure-{n}" for n in configure_names()]
-    out += [f"dacapo-{n}" for n in dacapo_names()]
-    out += [f"nas-{n}" for n in nas_names()]
-    out += [f"phoronix-{n}" for n in fig13_names()]
-    out += ["hackbench", "nginx", "leveldb", "redis"]
-    return out
+def _executor_from_args(args) -> SweepExecutor:
+    cache = None
+    if not getattr(args, "no_cache", False):
+        root = getattr(args, "cache_dir", None)
+        cache = ResultCache(Path(root) if root else None)
+    return SweepExecutor(jobs=args.jobs, cache=cache)
 
 
 def _cmd_list(args) -> int:
@@ -74,6 +61,8 @@ def _cmd_run(args) -> int:
     res = run_experiment(wl, get_machine(args.machine), args.scheduler,
                          args.governor, seed=args.seed)
     print(res.brief())
+    print(f"  wall={res.sim_wall_s:.3f}s  events={res.events_processed:,}  "
+          f"({res.events_per_sec:,.0f} events/s)")
     if args.verbose and res.freq_dist is not None:
         for label, frac in res.freq_dist.as_dict().items():
             if frac >= 0.005:
@@ -82,9 +71,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    executor = _executor_from_args(args)
     cmp = compare(lambda: make_workload(args.workload, scale=args.scale),
                   get_machine(args.machine), combos=STANDARD_COMBOS,
-                  seeds=tuple(range(1, args.seeds + 1)))
+                  seeds=tuple(range(1, args.seeds + 1)), executor=executor)
     rows = []
     for (sched, gov), stats in cmp.combos.items():
         rows.append([
@@ -99,6 +89,36 @@ def _cmd_compare(args) -> int:
         ["scheduler", "time", "speedup", "energy", "savings", "underload/s"],
         rows, title=f"{cmp.workload} on {cmp.machine} "
                     f"({args.seeds} seeds, vs CFS-schedutil)"))
+    print(executor.last_stats.summary())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    exp = get_experiment(args.experiment)
+    specs = specs_for(exp, seeds=tuple(range(1, args.seeds + 1)),
+                      scale=args.scale, machines=tuple(args.machine or ()))
+    if not specs:
+        print(f"error: {args.experiment} has no buildable workloads to sweep",
+              file=sys.stderr)
+        return 2
+    executor = _executor_from_args(args)
+    results = executor.run(specs)
+    for res in results:
+        print(res.brief())
+    print(executor.last_stats.summary())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    root = Path(args.cache_dir) if args.cache_dir else None
+    cache = ResultCache(root)
+    if args.action == "stats":
+        st = cache.stats()
+        print(f"cache at {st['root']}: {st['entries']} entries, "
+              f"{st['bytes'] / 1024:.1f} KiB")
+    else:  # clear
+        n = cache.clear()
+        print(f"cleared {n} cached result(s)")
     return 0
 
 
@@ -112,6 +132,16 @@ def _cmd_describe(args) -> int:
     if exp.workloads:
         print(f"  workloads: {', '.join(exp.workloads)}")
     return 0
+
+
+def _add_sweep_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: $REPRO_JOBS or cpu count)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore the result cache and re-simulate everything")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: "
+                        "$REPRO_CACHE_DIR or .repro-cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,7 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--machine", default="5218_2s")
     cmp_p.add_argument("--seeds", type=int, default=3)
     cmp_p.add_argument("--scale", type=float, default=1.0)
+    _add_sweep_options(cmp_p)
     cmp_p.set_defaults(fn=_cmd_compare)
+
+    sweep_p = sub.add_parser("sweep",
+                             help="run a registry experiment's full sweep")
+    sweep_p.add_argument("experiment", help="registry id, e.g. fig5")
+    sweep_p.add_argument("--seeds", type=int, default=1)
+    sweep_p.add_argument("--scale", type=float, default=1.0)
+    sweep_p.add_argument("--machine", action="append",
+                         help="restrict to these machine keys (repeatable)")
+    _add_sweep_options(sweep_p)
+    sweep_p.set_defaults(fn=_cmd_sweep)
+
+    cache_p = sub.add_parser("cache", help="result-cache maintenance")
+    cache_p.add_argument("action", choices=["stats", "clear"])
+    cache_p.add_argument("--cache-dir", default=None)
+    cache_p.set_defaults(fn=_cmd_cache)
 
     desc_p = sub.add_parser("describe", help="show a registry entry")
     desc_p.add_argument("experiment")

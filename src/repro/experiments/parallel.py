@@ -1,0 +1,176 @@
+"""Parallel sweep execution.
+
+Every paper figure is a sweep of independent (workload × machine ×
+scheduler × governor × seed) simulations.  :class:`SweepExecutor` fans a
+list of picklable :class:`RunSpec`\\ s out over a ``ProcessPoolExecutor``
+and returns results in spec order, so a parallel sweep aggregates
+bit-identically to the serial loop: each simulation owns its engine and
+derives all randomness from its spec's seed, and ``pool.map`` preserves
+ordering regardless of completion order.
+
+An optional :class:`~repro.experiments.cache.ResultCache` short-circuits
+specs that were already simulated (by any previous process — the cache is
+on disk and content-addressed), so only misses reach the pool.
+
+Worker count comes from, in order: the ``jobs`` argument, the
+``$REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.params import NestParams
+from ..hw.machines import get_machine
+from ..kernel.scheduler_core import KernelConfig
+from ..metrics.summary import RunResult
+from ..workloads.catalog import make_workload
+from .cache import ResultCache
+from .runner import run_experiment
+
+
+def default_jobs() -> int:
+    """Worker count: $REPRO_JOBS when set, else the machine's cpu count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A picklable description of one simulation.
+
+    Carries names rather than objects: the workload is rebuilt from the
+    catalogue and the machine from its short key inside the worker, so a
+    spec crosses process boundaries with no engine state attached.
+    """
+
+    workload: str                  # catalogue name, e.g. "configure-gcc"
+    machine: str                   # machine key, e.g. "5218_2s"
+    scheduler: str = "cfs"
+    governor: str = "schedutil"
+    seed: int = 0
+    scale: float = 1.0
+    nest_params: Optional[NestParams] = None
+    max_us: Optional[int] = None
+    kernel_config: Optional[KernelConfig] = None
+    record_trace: bool = False
+
+    @property
+    def label(self) -> str:
+        return (f"{self.workload}/{self.machine}/"
+                f"{self.scheduler}-{self.governor}/s{self.seed}")
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec to completion (this is the pool's worker function)."""
+    workload = make_workload(spec.workload, scale=spec.scale)
+    return run_experiment(
+        workload,
+        get_machine(spec.machine),
+        spec.scheduler,
+        spec.governor,
+        seed=spec.seed,
+        nest_params=spec.nest_params,
+        record_trace=spec.record_trace,
+        max_us=spec.max_us,
+        kernel_config=spec.kernel_config,
+    )
+
+
+@dataclass
+class SweepStats:
+    """Telemetry of one executor sweep (printed by the CLI summary line)."""
+
+    n_specs: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+    events: int = 0
+    sim_wall_s: float = 0.0        # summed per-simulation wall time
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.events / self.wall_s
+
+    def summary(self) -> str:
+        parts = [f"sweep: {self.n_specs} runs "
+                 f"({self.simulated} simulated, {self.cache_hits} cached) "
+                 f"in {self.wall_s:.2f}s"]
+        if self.simulated:
+            parts.append(f"{self.events:,} events, "
+                         f"{self.events_per_sec:,.0f} events/s, "
+                         f"{self.workers} worker(s)")
+        return " — ".join(parts)
+
+
+class SweepExecutor:
+    """Runs RunSpecs, in parallel, with optional result caching.
+
+    Results come back in spec order whatever the completion order, and a
+    single-worker executor produces byte-identical results to calling
+    :func:`execute_spec` in a loop — determinism is per-spec, not
+    per-schedule.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else default_jobs()
+        self.cache = cache
+        self.last_stats = SweepStats()
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; returns results in the order of ``specs``."""
+        t0 = time.perf_counter()
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        misses: List[int] = []
+        hits = 0
+        if self.cache is not None:
+            for i, spec in enumerate(specs):
+                cached = self.cache.get_spec(spec)
+                if cached is not None:
+                    results[i] = cached
+                    hits += 1
+                else:
+                    misses.append(i)
+        else:
+            misses = list(range(len(specs)))
+
+        workers = min(self.jobs, len(misses)) if misses else 0
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = pool.map(execute_spec, [specs[i] for i in misses])
+                for i, res in zip(misses, fresh):
+                    results[i] = res
+        else:
+            for i in misses:
+                results[i] = execute_spec(specs[i])
+
+        if self.cache is not None:
+            for i in misses:
+                self.cache.put_spec(specs[i], results[i])
+
+        out = [r for r in results if r is not None]
+        assert len(out) == len(specs)
+        self.last_stats = SweepStats(
+            n_specs=len(specs),
+            simulated=len(misses),
+            cache_hits=hits,
+            workers=max(workers, 1) if misses else 0,
+            wall_s=time.perf_counter() - t0,
+            events=sum(out[i].events_processed for i in misses),
+            sim_wall_s=sum(out[i].sim_wall_s for i in misses),
+        )
+        return out

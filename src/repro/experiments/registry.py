@@ -224,6 +224,38 @@ _register(Experiment(
     expected_shape="configure speedups persist; NAS unchanged"))
 
 
+def specs_for(
+    exp: Experiment,
+    seeds: Sequence[int] = (1,),
+    scale: float = 1.0,
+    machines: Sequence[str] = (),
+) -> List["RunSpec"]:
+    """Expand a registry entry into the RunSpecs that regenerate it.
+
+    The sweep covers (workload × machine × combo × seed) in registry
+    order, which a :class:`~repro.experiments.parallel.SweepExecutor` can
+    run in parallel and cache.  Workload entries that are descriptive
+    rather than buildable (e.g. Table 4's "suite population") are skipped;
+    an experiment with no buildable workloads yields no specs.
+    """
+    from ..workloads.catalog import make_workload
+    from .parallel import RunSpec
+
+    out: List[RunSpec] = []
+    for machine in (tuple(machines) or exp.machines):
+        for workload in exp.workloads:
+            try:
+                make_workload(workload)
+            except KeyError:
+                continue
+            for scheduler, governor in exp.combos:
+                for seed in seeds:
+                    out.append(RunSpec(workload=workload, machine=machine,
+                                       scheduler=scheduler, governor=governor,
+                                       seed=seed, scale=scale))
+    return out
+
+
 def all_experiments() -> List[Experiment]:
     return list(EXPERIMENTS.values())
 

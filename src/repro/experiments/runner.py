@@ -10,8 +10,9 @@ plotted in Figures 5-13.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.nest import NestPolicy
 from ..core.params import DEFAULT_PARAMS, NestParams
@@ -30,6 +31,9 @@ from ..sched.smove import SmovePolicy
 from ..sim.engine import Engine
 from ..sim.trace import Tracer
 from ..workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .parallel import SweepExecutor
 
 #: The paper's baseline combination (§5.1).
 BASELINE = ("cfs", "schedutil")
@@ -77,6 +81,7 @@ def run_experiment(
     kernel_config: Optional[KernelConfig] = None,
 ) -> RunResult:
     """Run one simulation to completion and collect its measurements."""
+    wall_start = time.perf_counter()
     engine = Engine(seed)
     tracer = Tracer(machine.n_cpus, record_segments=record_trace)
     policy = make_policy(scheduler, nest_params)
@@ -109,6 +114,8 @@ def run_experiment(
         total_wakeups=sum(t.n_wakeups for t in tasks),
         wakeup_latency_us=sum(t.wakeup_latency_us for t in tasks),
         policy_stats=dict(getattr(policy, "stats", {})),
+        sim_wall_s=time.perf_counter() - wall_start,
+        events_processed=engine.events_processed,
     )
     if record_trace:
         result.extra["n_segments"] = float(len(tracer.segments))
@@ -185,18 +192,40 @@ def compare(
     nest_params: Optional[NestParams] = None,
     max_us: Optional[int] = None,
     kernel_config: Optional[KernelConfig] = None,
+    executor: Optional["SweepExecutor"] = None,
 ) -> Comparison:
-    """Run every combo over every seed; the paper's Figure 5-13 procedure."""
+    """Run every combo over every seed; the paper's Figure 5-13 procedure.
+
+    With an ``executor`` the (combo × seed) sweep fans out over worker
+    processes (and consults the executor's result cache); the aggregates
+    are built from the results in the same deterministic (combo, seed)
+    order as the serial path, so both paths produce identical Comparisons.
+    Sweeps the executor cannot express as picklable specs (ad-hoc
+    workloads or machines, custom kernel configs) fall back to serial.
+    """
+    results: Optional[List[RunResult]] = None
+    wl_name: Optional[str] = None
+    if executor is not None:
+        specs = _sweep_specs(workload_factory, machine, combos, seeds,
+                             nest_params, max_us, kernel_config)
+        if specs is not None:
+            results = executor.run(specs)
+            wl_name = specs[0].workload
+
     stats: Dict[Tuple[str, str], ComboStats] = {}
-    wl_name = None
+    idx = 0
     for scheduler, governor in combos:
         cs = ComboStats(scheduler, governor)
         for seed in seeds:
-            wl = workload_factory()
-            wl_name = wl.name
-            res = run_experiment(wl, machine, scheduler, governor, seed,
-                                 nest_params=nest_params, max_us=max_us,
-                                 kernel_config=kernel_config)
+            if results is not None:
+                res = results[idx]
+                idx += 1
+            else:
+                wl = workload_factory()
+                wl_name = wl.name
+                res = run_experiment(wl, machine, scheduler, governor, seed,
+                                     nest_params=nest_params, max_us=max_us,
+                                     kernel_config=kernel_config)
             cs.makespans_us.append(res.makespan_us)
             cs.energies_j.append(res.energy_joules)
             cs.underload_per_s.append(res.underload.underload_per_second)
@@ -204,3 +233,32 @@ def compare(
         stats[(scheduler, governor)] = cs
     return Comparison(workload=wl_name or "?", machine=machine.name,
                       combos=stats)
+
+
+def _sweep_specs(
+    workload_factory: Callable[[], Workload],
+    machine: Machine,
+    combos: Sequence[Tuple[str, str]],
+    seeds: Sequence[int],
+    nest_params: Optional[NestParams],
+    max_us: Optional[int],
+    kernel_config: Optional[KernelConfig],
+) -> Optional[List["RunSpec"]]:
+    """Express a compare() sweep as RunSpecs, or None if it cannot be."""
+    from ..hw.machines import machine_key
+    from ..workloads.catalog import can_reconstruct
+    from .parallel import RunSpec
+
+    mk = machine_key(machine)
+    if mk is None:
+        return None
+    probe = workload_factory()
+    if not can_reconstruct(probe):
+        return None
+    scale = getattr(probe, "scale", 1.0)
+    return [RunSpec(workload=probe.name, machine=mk, scheduler=scheduler,
+                    governor=governor, seed=seed, scale=scale,
+                    nest_params=nest_params, max_us=max_us,
+                    kernel_config=kernel_config)
+            for scheduler, governor in combos
+            for seed in seeds]

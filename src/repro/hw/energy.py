@@ -61,21 +61,35 @@ class EnergyMeter:
         self._core_mhz: List[int] = [0] * n_pc
         self._core_active: List[bool] = [False] * n_pc
         self._samples: List[tuple[int, float]] = []
+        # Power is piecewise constant between state changes, so it is
+        # computed once per change and cached (None = dirty) rather than
+        # re-summed over every core on each advance.
+        self._power: float | None = None
 
     # ---- state mirroring -------------------------------------------------
 
     def set_core_freq(self, physical_core: int, mhz: int, now: int) -> None:
         self.advance(now)
-        self._core_mhz[physical_core] = mhz
+        if self._core_mhz[physical_core] != mhz:
+            self._core_mhz[physical_core] = mhz
+            self._power = None
 
     def set_core_active(self, physical_core: int, active: bool, now: int) -> None:
         self.advance(now)
-        self._core_active[physical_core] = active
+        if self._core_active[physical_core] != active:
+            self._core_active[physical_core] = active
+            self._power = None
 
     # ---- integration -------------------------------------------------------
 
     def current_power_watts(self) -> float:
         """Whole-machine CPU power with the present state."""
+        power = self._power
+        if power is None:
+            power = self._power = self._compute_power()
+        return power
+
+    def _compute_power(self) -> float:
         p = self.params
         topo = self.topology
         total = 0.0

@@ -175,6 +175,23 @@ class FreqModel:
         self._socket_active = [0] * topology.n_sockets
         self._thread_state: List[tuple[bool, bool]] = \
             [(False, False)] * topology.n_cpus
+        # Memoized lookups for the hot re-pricing paths: topology maps are
+        # immutable per machine and the turbo table is a pure function of
+        # the active-core count, so flatten them once.
+        self._min_mhz = turbo.min_mhz
+        self._pc_of = tuple(topology.physical_core_of(c)
+                            for c in range(topology.n_cpus))
+        self._socket_of_pc = tuple(pc // topology.cores_per_socket
+                                   for pc in range(topology.n_physical_cores))
+        self._siblings_of_pc = tuple(topology.smt_siblings(pc)
+                                     for pc in range(topology.n_physical_cores))
+        self._ceiling_by_active = tuple(
+            turbo.ceiling(k) for k in range(topology.cores_per_socket + 1))
+        if pm.presustain_cap == "allcore":
+            cap = turbo.limits[-1]
+        else:
+            cap = turbo.nominal_mhz
+        self._presustain_cap_mhz = max(cap, turbo.nominal_mhz)
 
     # ---- public queries -----------------------------------------------
 
@@ -183,7 +200,7 @@ class FreqModel:
 
     def freq_mhz(self, cpu: int) -> int:
         """Current frequency of the physical core containing hw thread cpu."""
-        return self._cores[self.topology.physical_core_of(cpu)].mhz
+        return self._cores[self._pc_of[cpu]].mhz
 
     def core_freq_mhz(self, physical_core: int) -> int:
         return self._cores[physical_core].mhz
@@ -196,7 +213,7 @@ class FreqModel:
 
     def idle_duration(self, cpu: int, now: int) -> Optional[int]:
         """How long the physical core of ``cpu`` has been fully idle."""
-        st = self._cores[self.topology.physical_core_of(cpu)]
+        st = self._cores[self._pc_of[cpu]]
         if st.idle_since is None:
             return None
         return now - st.idle_since
@@ -211,8 +228,7 @@ class FreqModel:
         """
         if busy and spinning:
             raise ValueError("a thread cannot be busy and spinning")
-        topo = self.topology
-        pc = topo.physical_core_of(cpu)
+        pc = self._pc_of[cpu]
         st = self._cores[pc]
         was_active = st.is_active
 
@@ -241,7 +257,7 @@ class FreqModel:
             else:
                 st.active_since = now
             st.idle_since = None
-            socket = topo.socket_of(cpu)
+            socket = self._socket_of_pc[pc]
             self._socket_active[socket] += 1
             # A waking core exits its idle state directly at the governor's
             # floor P-state (the performance governor's guarantee).  Speed
@@ -251,7 +267,7 @@ class FreqModel:
                 jump = self._target_mhz(pc, now)
             else:
                 jump = max(self.governor.floor_mhz(t)
-                           for t in topo.smt_siblings(cpu))
+                           for t in self._siblings_of_pc[pc])
             if st.mhz < jump:
                 st.mhz = jump
                 for fn in self._listeners:
@@ -261,7 +277,7 @@ class FreqModel:
             st.prev_active_since = st.active_since
             st.active_since = None
             st.idle_since = now
-            socket = topo.socket_of(cpu)
+            socket = self._socket_of_pc[pc]
             self._socket_active[socket] -= 1
             self._reevaluate_socket(socket)
         else:
@@ -273,16 +289,16 @@ class FreqModel:
 
     def notify_request_change(self, cpu: int) -> None:
         """Governor request for ``cpu`` may have changed; re-evaluate."""
-        self._reevaluate(self.topology.physical_core_of(cpu))
+        self._reevaluate(self._pc_of[cpu])
 
     # ---- target computation and ramping -----------------------------------
 
     def _target_mhz(self, pc: int, now: int) -> int:
         st = self._cores[pc]
-        if not st.is_active:
-            return self.turbo.min_mhz
-        socket = pc // self.topology.cores_per_socket
-        ceiling = self.turbo.ceiling(self._socket_active[socket])
+        if st.active_threads == 0 and st.spinning_threads == 0:
+            return self._min_mhz
+        ceiling = self._ceiling_by_active[
+            self._socket_active[self._socket_of_pc[pc]]]
         sustained = (st.active_since is not None
                      and now - st.active_since >= self.pm.turbo_latency_us)
         if sustained and self.pm.autonomous_boost:
@@ -292,38 +308,55 @@ class FreqModel:
             target = ceiling
         else:
             if not sustained:
-                if self.pm.presustain_cap == "allcore":
-                    cap = self.turbo.limits[-1]
-                else:
-                    cap = self.turbo.nominal_mhz
-                ceiling = min(ceiling, max(cap, self.turbo.nominal_mhz))
+                if self._presustain_cap_mhz < ceiling:
+                    ceiling = self._presustain_cap_mhz
             # Governor bounds, evaluated over the core's hw threads: the
             # hardware honours the strongest request on the core.
             request = 0
-            floor = self.turbo.min_mhz
-            for t in self.topology.smt_siblings(self._any_cpu(pc)):
-                request = max(request, self.governor.request_mhz(t))
-                floor = max(floor, self.governor.floor_mhz(t))
+            floor = self._min_mhz
+            governor = self.governor
+            for t in self._siblings_of_pc[pc]:
+                r = governor.request_mhz(t)
+                if r > request:
+                    request = r
+                f = governor.floor_mhz(t)
+                if f > floor:
+                    floor = f
             target = min(ceiling, max(request, floor))
         # A spinning idle loop looks 100%-active to the hardware, which
         # therefore holds the frequency even if the governor's request sinks
         # (Nest's warm-core mechanism, §3.2).
         if st.spinning_threads > 0 and st.active_threads == 0:
             target = min(ceiling, max(target, st.mhz))
-        return max(target, self.turbo.min_mhz)
-
-    def _any_cpu(self, pc: int) -> int:
-        # The thread-0 cpu id of physical core pc equals pc by construction.
-        return pc
+        return max(target, self._min_mhz)
 
     def _reevaluate_socket(self, socket: int) -> None:
-        base = socket * self.topology.cores_per_socket
-        for pc in range(base, base + self.topology.cores_per_socket):
+        """Re-price every core of a socket after its active count changed.
+
+        Settled idle cores — inactive, already at the minimum frequency,
+        with no ramp step pending — are skipped: their target is the
+        minimum regardless of the socket's active-core count, so
+        re-evaluating them is always a no-op.  This turns the per-socket
+        sweep from O(cores) target computations into O(non-settled cores),
+        the "batched re-pricing" fast path.
+        """
+        cps = self.topology.cores_per_socket
+        base = socket * cps
+        cores = self._cores
+        min_mhz = self._min_mhz
+        for pc in range(base, base + cps):
+            st = cores[pc]
+            if (st.active_threads == 0 and st.spinning_threads == 0
+                    and st.step_event is None and st.mhz == min_mhz):
+                continue
             self._reevaluate(pc)
 
     def _reevaluate(self, pc: int) -> None:
         """Recompute the target and (re)schedule the next ramp step."""
         st = self._cores[pc]
+        if (st.active_threads == 0 and st.spinning_threads == 0
+                and st.step_event is None and st.mhz == self._min_mhz):
+            return    # settled idle core: target == mhz == min
         now = self.engine.now
         target = self._target_mhz(pc, now)
         if st.step_event is not None:

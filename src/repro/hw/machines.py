@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from . import turbo as turbo_tables
 from .energy import PowerParams
@@ -137,3 +137,15 @@ def get_machine(name: str) -> Machine:
     except KeyError:
         raise KeyError(
             f"unknown machine {name!r}; known: {sorted(ALL_MACHINES)}") from None
+
+
+def machine_key(machine: Machine) -> Optional[str]:
+    """Short key of a catalogued machine, or None for an ad-hoc one.
+
+    The inverse of :func:`get_machine`; sweep specs and cache keys carry
+    the short key so a worker process can rebuild the machine by name.
+    """
+    for key, m in ALL_MACHINES.items():
+        if m is machine or m == machine:
+            return key
+    return None

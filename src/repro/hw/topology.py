@@ -26,22 +26,20 @@ class Topology:
     cores_per_socket: int       # physical cores per socket
     smt: int = 2                # hardware threads per physical core
 
+    #: Derived counts, computed once in ``__post_init__``: these are read in
+    #: the simulator's innermost loops, where a property call per read is
+    #: measurable.
+    n_physical_cores: int = field(init=False, repr=False, compare=False)
+    n_cpus: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.n_sockets < 1 or self.cores_per_socket < 1:
             raise ValueError("topology must have at least one core")
         if self.smt not in (1, 2):
             raise ValueError("only SMT1 and SMT2 are modelled")
-
-    # ---- counts -----------------------------------------------------------
-
-    @property
-    def n_physical_cores(self) -> int:
-        return self.n_sockets * self.cores_per_socket
-
-    @property
-    def n_cpus(self) -> int:
-        """Total number of hardware threads (the paper's 'cores')."""
-        return self.n_physical_cores * self.smt
+        object.__setattr__(self, "n_physical_cores",
+                           self.n_sockets * self.cores_per_socket)
+        object.__setattr__(self, "n_cpus", self.n_physical_cores * self.smt)
 
     # ---- per-cpu lookups --------------------------------------------------
 

@@ -26,12 +26,25 @@ HALFLIFE_US = 32_000
 
 _LN2_OVER_HL = math.log(2.0) / HALFLIFE_US
 
+#: Memo of delta -> y^delta.  Simulation deltas repeat heavily (tick
+#: periods, ramp intervals, slice lengths), so the exp() is computed once
+#: per distinct delta.  Bounded so pathological workloads cannot leak.
+_DECAY_CACHE: dict = {}
+_DECAY_CACHE_MAX = 1 << 16
+_exp = math.exp
+
 
 def decay_factor(delta_us: int) -> float:
     """The factor y^delta by which an average decays over ``delta_us``."""
     if delta_us <= 0:
         return 1.0
-    return math.exp(-_LN2_OVER_HL * delta_us)
+    y = _DECAY_CACHE.get(delta_us)
+    if y is None:
+        if len(_DECAY_CACHE) >= _DECAY_CACHE_MAX:
+            _DECAY_CACHE.clear()
+        y = _exp(-_LN2_OVER_HL * delta_us)
+        _DECAY_CACHE[delta_us] = y
+    return y
 
 
 class PeltAvg:
@@ -48,14 +61,18 @@ class PeltAvg:
         self.last_update_us = now
 
     def update(self, now: int, running: bool) -> float:
-        """Advance the average to ``now``; returns the new value."""
+        """Advance the average to ``now``; returns the new value.
+
+        Decay is lazy: a zero average stays zero without touching the
+        decay table (the common case for long-idle cores).
+        """
         delta = now - self.last_update_us
         if delta > 0:
-            y = decay_factor(delta)
             if running:
+                y = decay_factor(delta)
                 self.value = self.value * y + PELT_MAX * (1.0 - y)
-            else:
-                self.value = self.value * y
+            elif self.value != 0.0:
+                self.value = self.value * decay_factor(delta)
             self.last_update_us = now
         return self.value
 
@@ -64,10 +81,12 @@ class PeltAvg:
         delta = now - self.last_update_us
         if delta <= 0:
             return self.value
-        y = decay_factor(delta)
         if running:
+            y = decay_factor(delta)
             return self.value * y + PELT_MAX * (1.0 - y)
-        return self.value * y
+        if self.value == 0.0:
+            return 0.0
+        return self.value * decay_factor(delta)
 
     def add(self, amount: float) -> None:
         """Add a contribution (e.g. blocked load of a departing task)."""

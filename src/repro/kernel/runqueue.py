@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional
 
-from .pelt import PeltAvg
+from .pelt import PELT_MAX, PeltAvg, decay_factor
 from .task import Task, TaskState
 
 #: Vruntime credit granted to waking sleepers (Linux's sleeper fairness:
@@ -33,15 +33,19 @@ SLEEPER_BONUS_US = 9_000
 class RunQueue:
     """Runnable tasks waiting on one hardware thread."""
 
-    __slots__ = ("cpu", "_heap", "_seq", "_queued", "min_vruntime",
-                 "busy_avg", "blocked_load", "placement_pending",
-                 "last_busy_us", "nr_switches", "currently_busy")
+    __slots__ = ("cpu", "_heap", "_seq", "_queued", "nr_queued",
+                 "min_vruntime", "busy_avg", "blocked_load",
+                 "placement_pending", "last_busy_us", "nr_switches",
+                 "currently_busy")
 
     def __init__(self, cpu: int, now: int = 0) -> None:
         self.cpu = cpu
         self._heap: List[tuple[float, int, Task]] = []
         self._seq = 0
         self._queued: set[int] = set()        # tids currently queued
+        #: ``len(self._queued)``, maintained eagerly — the placement paths
+        #: read it for every candidate cpu, so it must be an attribute.
+        self.nr_queued = 0
         self.min_vruntime = 0.0
         self.busy_avg = PeltAvg(now)
         self.blocked_load = PeltAvg(now)
@@ -53,12 +57,7 @@ class RunQueue:
     # ---- queue operations ----------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._queued)
-
-    @property
-    def nr_queued(self) -> int:
-        """Tasks waiting on the queue (excludes the running task)."""
-        return len(self._queued)
+        return self.nr_queued
 
     def push(self, task: Task) -> None:
         if task.tid in self._queued:
@@ -70,6 +69,7 @@ class RunQueue:
         heapq.heappush(self._heap, (task.vruntime, self._seq, task))
         self._seq += 1
         self._queued.add(task.tid)
+        self.nr_queued += 1
 
     def pop(self) -> Optional[Task]:
         """Remove and return the leftmost (smallest-vruntime) task."""
@@ -78,6 +78,7 @@ class RunQueue:
             vr, _, task = heapq.heappop(heap)
             if task.tid in self._queued:
                 self._queued.discard(task.tid)
+                self.nr_queued -= 1
                 self.min_vruntime = max(self.min_vruntime, vr)
                 return task
         return None
@@ -95,6 +96,7 @@ class RunQueue:
         """Remove a specific queued task (load-balancer migration)."""
         if task.tid in self._queued:
             self._queued.discard(task.tid)
+            self.nr_queued -= 1
             return True
         return False
 
@@ -107,6 +109,7 @@ class RunQueue:
             return None
         vr, _, task = max(candidates, key=lambda x: (x[0], x[1]))
         self._queued.discard(task.tid)
+        self.nr_queued -= 1
         return task
 
     def queued_tasks(self) -> List[Task]:
@@ -116,10 +119,38 @@ class RunQueue:
 
     def load_avg(self, now: int) -> float:
         """Recent-load signal used by CFS fork placement: how busy this CPU
-        has been, plus the decaying load of recently blocked tasks."""
-        return (self.busy_avg.peek(now, self.currently_busy)
-                + self.blocked_load.peek(now))
+        has been, plus the decaying load of recently blocked tasks.
+
+        This is :meth:`PeltAvg.peek` inlined twice — placement scans call it
+        for every candidate cpu and the method-call overhead dominated.
+        """
+        busy = self.busy_avg
+        v = busy.value
+        delta = now - busy.last_update_us
+        if delta > 0:
+            if self.currently_busy:
+                y = decay_factor(delta)
+                v = v * y + PELT_MAX * (1.0 - y)
+            elif v != 0.0:
+                v = v * decay_factor(delta)
+        blocked = self.blocked_load
+        bv = blocked.value
+        if bv != 0.0:
+            delta = now - blocked.last_update_us
+            if delta > 0:
+                bv = bv * decay_factor(delta)
+        return v + bv
 
     def util(self, now: int) -> float:
         """Utilisation signal used by schedutil (0..1024)."""
-        return self.busy_avg.peek(now, self.currently_busy)
+        busy = self.busy_avg
+        v = busy.value
+        delta = now - busy.last_update_us
+        if delta <= 0:
+            return v
+        if self.currently_busy:
+            y = decay_factor(delta)
+            return v * y + PELT_MAX * (1.0 - y)
+        if v == 0.0:
+            return 0.0
+        return v * decay_factor(delta)

@@ -116,6 +116,12 @@ class Kernel:
         self.rqs: List[RunQueue] = [RunQueue(cpu, engine.now) for cpu in range(n)]
         self.cpus: List[_CpuState] = [_CpuState() for _ in range(n)]
         self.domains = DomainHierarchy(self.topology)
+        # Flattened topology maps for the per-event hot paths (the topology
+        # is immutable, so these never go stale).
+        self.sibling_of = tuple(self.topology.sibling_of(c) for c in range(n))
+        self.pc_of = tuple(self.topology.physical_core_of(c) for c in range(n))
+        self.smt_siblings_of = tuple(self.topology.smt_siblings(c)
+                                     for c in range(n))
 
         self.tracer = tracer or Tracer(n)
         self.energy = energy or EnergyMeter(self.topology)
@@ -342,7 +348,7 @@ class Kernel:
         """Cycles retired per µs on ``cpu``: frequency in MHz, scaled down
         when the sibling hyperthread is also running a task."""
         rate = float(self.freq.freq_mhz(cpu))
-        sib = self.topology.sibling_of(cpu)
+        sib = self.sibling_of[cpu]
         if sib != cpu and self.cpus[sib].current is not None:
             rate *= self.config.smt_contention_factor
         return rate
@@ -605,7 +611,7 @@ class Kernel:
         cs = self.cpus[cpu]
         spin_ticks = float(self.policy.spin_ticks()) if after_block else 0.0
         if spin_ticks > 0:
-            sib = self.topology.sibling_of(cpu)
+            sib = self.sibling_of[cpu]
             sib_busy = sib != cpu and self.cpus[sib].current is not None
             if not sib_busy:
                 cs.spinning = True
@@ -646,13 +652,13 @@ class Kernel:
         rq.busy_avg.update(now, rq.currently_busy)
         rq.currently_busy = busy
         self.freq.set_thread_state(cpu, busy, spinning)
-        pc = self.topology.physical_core_of(cpu)
+        pc = self.pc_of[cpu]
         self.energy.set_core_active(pc, self.freq.core_is_active(pc), now)
         self.governor.on_activity_change(cpu)
         self.freq.notify_request_change(cpu)
         # The paper's spin stops as soon as the hyperthread gets a task,
         # and the sibling's execution rate changes with this thread's state.
-        sib = self.topology.sibling_of(cpu)
+        sib = self.sibling_of[cpu]
         if sib != cpu:
             if busy and self.cpus[sib].spinning:
                 self._stop_spin(sib)
@@ -661,7 +667,7 @@ class Kernel:
     def _on_core_freq_change(self, physical_core: int, mhz: int) -> None:
         now = self.engine.now
         self.energy.set_core_freq(physical_core, mhz, now)
-        for cpu in self.topology.smt_siblings(physical_core):
+        for cpu in self.smt_siblings_of[physical_core]:
             self.tracer.freq_change(cpu, now, mhz)
             self._reprice_running(cpu)
 

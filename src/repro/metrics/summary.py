@@ -29,6 +29,19 @@ class RunResult:
     wakeup_latency_us: int = 0
     policy_stats: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Host-side telemetry: wall-clock seconds the simulation took and how
+    #: many engine events it processed.  Nondeterministic (timing), so it is
+    #: excluded from determinism comparisons; a cache hit reports the wall
+    #: time of the run that produced the entry.
+    sim_wall_s: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine throughput of the run (0 when wall time was not recorded)."""
+        if self.sim_wall_s <= 0:
+            return 0.0
+        return self.events_processed / self.sim_wall_s
 
     @property
     def makespan_sec(self) -> float:

@@ -21,6 +21,7 @@ never examined (Nest's fallback extends this, §3.4).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 from ..kernel.task import Task
@@ -58,9 +59,10 @@ class CfsPolicy(SelectionPolicy):
         stack = kernel.domains.domains_of(cpu)
         # Walk from the highest domain down to the lowest.
         for level in range(len(stack) - 1, -1, -1):
-            dom = kernel.domains.domains_of(cpu)[level]
+            dom = stack[level]
             group = self._find_idlest_group(dom.groups, cpu)
             cpu = self._find_idlest_cpu(group, from_cpu=parent_cpu)
+            stack = kernel.domains.domains_of(cpu)
         return cpu
 
     def _find_idlest_group(self, groups: Sequence[Tuple[int, ...]],
@@ -68,7 +70,10 @@ class CfsPolicy(SelectionPolicy):
         """Linux v5.9 semantics: the local group (the one containing the
         forking cpu) wins unless another group has strictly more idle cpus;
         among the others, more idle cpus then less quantized load."""
-        now = self.kernel.engine.now
+        kernel = self.kernel
+        now = kernel.engine.now
+        rqs = kernel.rqs
+        cpus = kernel.cpus
         local = None
         best = None
         best_key = None
@@ -76,17 +81,30 @@ class CfsPolicy(SelectionPolicy):
             if current_cpu in group:
                 local = group
                 continue
-            idle_cpus = sum(1 for c in group if self.kernel.cpu_is_idle(c))
-            load = _qload(sum(self.kernel.rqs[c].load_avg(now) for c in group))
-            running = sum(self.kernel.nr_running(c) for c in group)
-            key = (-idle_cpus, running, load)
+            # One pass per group gathers the idle count, the queued+running
+            # count and the summed load (three separate sweeps before).
+            idle_cpus = 0
+            running = 0
+            load = 0.0
+            for c in group:
+                rq = rqs[c]
+                q = rq.nr_queued
+                if cpus[c].current is None:
+                    if q == 0:
+                        idle_cpus += 1
+                    running += q
+                else:
+                    running += q + 1
+                load += rq.load_avg(now)
+            key = (-idle_cpus, running, _qload(load))
             if best_key is None or key < best_key:
                 best, best_key = group, key
         if local is None:
             return best
         if best is None:
             return local
-        local_idle = sum(1 for c in local if self.kernel.cpu_is_idle(c))
+        local_idle = sum(1 for c in local
+                         if cpus[c].current is None and rqs[c].nr_queued == 0)
         if local_idle >= -best_key[0]:
             return local
         return best
@@ -96,18 +114,24 @@ class CfsPolicy(SelectionPolicy):
         the group, starting from the forking cpu's position."""
         kernel = self.kernel
         now = kernel.engine.now
-        ordered = _rotate(group, from_cpu)
+        rqs = kernel.rqs
+        cpus = kernel.cpus
+        check_pending = self.check_pending_default
         best = None
         best_key = None
-        for rank, c in enumerate(ordered):
-            if self._usable_idle(c, self.check_pending_default):
+        for rank, c in enumerate(_rotate(group, from_cpu)):
+            rq = rqs[c]
+            q = rq.nr_queued
+            busy = cpus[c].current is not None
+            if not busy and q == 0 \
+                    and not (check_pending and rq.placement_pending > 0):
                 # Idle cpus compete on recent load: CFS prefers the one
                 # idle longest (smallest decayed load, quantized so that
                 # fully-decayed cores tie and scan order decides).
-                key = (0, 0, _qload(kernel.rqs[c].load_avg(now)), rank)
+                key = (0, 0, _qload(rq.load_avg(now)), rank)
             else:
-                key = (1, kernel.nr_running(c),
-                       _qload(kernel.rqs[c].load_avg(now)), rank)
+                key = (1, q + (1 if busy else 0),
+                       _qload(rq.load_avg(now)), rank)
             if best_key is None or key < best_key:
                 best, best_key = c, key
         return best
@@ -209,14 +233,16 @@ class CfsPolicy(SelectionPolicy):
     def _search_idle_core(self, die: Sequence[int], target: int,
                           check_pending: bool) -> Optional[int]:
         """Step 1: a physical core with every hyperthread idle."""
-        topo = self.kernel.topology
+        kernel = self.kernel
+        pc_of = kernel.pc_of
+        siblings_of = kernel.smt_siblings_of
         seen_cores = set()
         for c in _rotate(tuple(die), target):
-            pc = topo.physical_core_of(c)
+            pc = pc_of[c]
             if pc in seen_cores:
                 continue
             seen_cores.add(pc)
-            sibs = topo.smt_siblings(c)
+            sibs = siblings_of[c]
             if all(self._usable_idle(s, check_pending) for s in sibs):
                 return min(sibs)
         return None
@@ -234,9 +260,11 @@ class CfsPolicy(SelectionPolicy):
         return None
 
     def _usable_idle(self, cpu: int, check_pending: bool) -> bool:
-        if not self.kernel.cpu_is_idle(cpu):
+        kernel = self.kernel
+        if kernel.cpus[cpu].current is not None \
+                or kernel.rqs[cpu].nr_queued != 0:
             return False
-        if check_pending and self.kernel.rqs[cpu].placement_pending > 0:
+        if check_pending and kernel.rqs[cpu].placement_pending > 0:
             return False
         return True
 
@@ -246,9 +274,14 @@ def _qload(load: float) -> int:
     return int(load / LOAD_EPSILON)
 
 
+@lru_cache(maxsize=4096)
 def _rotate(seq: Tuple[int, ...], start: int) -> Tuple[int, ...]:
     """Return ``seq`` rotated so scanning starts at ``start`` (or just after
-    its insertion point when ``start`` is not a member)."""
+    its insertion point when ``start`` is not a member).
+
+    Memoized: the wakeup path rotates the same die span for every placement,
+    and there are only (spans x cpus) distinct rotations per machine.
+    """
     ordered = sorted(seq)
     pivot = 0
     for i, v in enumerate(ordered):

@@ -1,0 +1,77 @@
+"""Canonical workload catalogue: build any named workload from a string.
+
+The catalogue is the bridge between human-readable workload names (used by
+the CLI, the experiment registry and the result cache) and workload
+objects.  Crucially it makes sweep specs *picklable*: a parallel worker
+process receives only ``(name, scale)`` and reconstructs the workload
+here, instead of shipping a live object across the process boundary.
+
+``make_workload(wl.name, scale)`` round-trips for every workload the
+catalogue can build; :func:`can_reconstruct` checks that property, which
+the parallel executor uses to decide whether a sweep can leave the
+serial path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Workload
+from .configure import ConfigureWorkload, configure_names
+from .dacapo import DacapoWorkload, dacapo_names
+from .messaging import HackbenchWorkload, SchbenchWorkload
+from .nas import NasWorkload, nas_names
+from .phoronix import PhoronixWorkload, fig13_names
+from .servers import apache_siege, leveldb, nginx, redis
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build a workload from its canonical name (see ``list``)."""
+    if name.startswith("configure-"):
+        return ConfigureWorkload(name.removeprefix("configure-"), scale=scale)
+    if name.startswith("dacapo-"):
+        return DacapoWorkload(name.removeprefix("dacapo-"), scale=scale)
+    if name.startswith("nas-"):
+        kern = name.removeprefix("nas-").removesuffix(".C")
+        return NasWorkload(kern, scale=scale)
+    if name.startswith("phoronix-"):
+        return PhoronixWorkload(name.removeprefix("phoronix-"), scale=scale)
+    if name == "hackbench":
+        return HackbenchWorkload()
+    if name.startswith("hackbench-g"):
+        try:
+            return HackbenchWorkload(groups=int(name.removeprefix("hackbench-g")))
+        except ValueError:
+            raise KeyError(f"unknown workload {name!r}; try 'list'") from None
+    if name == "schbench":
+        return SchbenchWorkload()
+    if name.startswith("apache-siege-c"):
+        try:
+            return apache_siege(int(name.removeprefix("apache-siege-c")))
+        except ValueError:
+            raise KeyError(f"unknown workload {name!r}; try 'list'") from None
+    simple = {"nginx": nginx, "leveldb": leveldb, "redis": redis}
+    if name in simple:
+        return simple[name]()
+    raise KeyError(f"unknown workload {name!r}; try 'list'")
+
+
+def workload_names() -> List[str]:
+    out = [f"configure-{n}" for n in configure_names()]
+    out += [f"dacapo-{n}" for n in dacapo_names()]
+    out += [f"nas-{n}" for n in nas_names()]
+    out += [f"phoronix-{n}" for n in fig13_names()]
+    out += ["hackbench", "nginx", "leveldb", "redis"]
+    return out
+
+
+def can_reconstruct(workload: Workload) -> bool:
+    """True if ``make_workload(workload.name, scale)`` rebuilds this
+    workload — the precondition for running it through a RunSpec."""
+    scale = getattr(workload, "scale", 1.0)
+    try:
+        rebuilt = make_workload(workload.name, scale=scale)
+    except KeyError:
+        return False
+    return (rebuilt.name == workload.name
+            and getattr(rebuilt, "scale", 1.0) == scale)

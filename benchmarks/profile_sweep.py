@@ -9,6 +9,7 @@ honest — the hot-path optimization work:
     PYTHONPATH=src python benchmarks/profile_sweep.py            # timing
     PYTHONPATH=src python benchmarks/profile_sweep.py --profile  # + cProfile
     PYTHONPATH=src python benchmarks/profile_sweep.py --phoronix # other sweep
+    PYTHONPATH=src python benchmarks/profile_sweep.py --obs-check # obs guard
 
 Reference numbers on the CI container (1 cpu, Python 3.11), measured
 un-profiled with ``--repeat 10`` (40 simulations):
@@ -46,13 +47,53 @@ PHORONIX_SWEEP = [(f"phoronix-{name}", machine, s, g, 1, 0.6)
                   for s, g in (("cfs", "schedutil"), ("nest", "schedutil"))]
 
 
-def run_sweep(sweep):
+def run_sweep(sweep, collect_events=False):
     results = []
     for workload, machine, scheduler, governor, seed, scale in sweep:
         wl = make_workload(workload, scale=scale)
         results.append(run_experiment(wl, get_machine(machine), scheduler,
-                                      governor, seed=seed))
+                                      governor, seed=seed,
+                                      collect_events=collect_events))
     return results
+
+
+def obs_check(sweep, repeat: int, threshold_pct: float) -> int:
+    """Guard the event log's overhead contract.
+
+    Runs the sweep with the log disabled (no sinks — the production
+    configuration) and with a memory sink attached, best-of-``repeat``
+    each, and fails if attaching sinks costs more than ``threshold_pct``
+    of wall time.  Also asserts the disabled/enabled runs stay
+    semantically identical: instrumentation must be read-only.
+    """
+    def best_wall(collect):
+        best, results = None, None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            res = run_sweep(sweep, collect_events=collect)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best, results = wall, res
+        return best, results
+
+    off_wall, off_res = best_wall(False)
+    on_wall, on_res = best_wall(True)
+    for a, b in zip(off_res, on_res):
+        assert a.makespan_us == b.makespan_us, \
+            f"event collection changed {a.workload} [{a.label}] semantics"
+        assert a.events_processed == b.events_processed
+    n_events = sum(len(r.events) for r in on_res)
+
+    overhead_pct = (on_wall - off_wall) / off_wall * 100.0
+    print(f"obs off: {off_wall:.3f}s   obs on: {on_wall:.3f}s "
+          f"({n_events:,} log events)   overhead: {overhead_pct:+.1f}% "
+          f"(budget {threshold_pct:.0f}%, best of {repeat})")
+    if overhead_pct > threshold_pct:
+        print(f"FAIL: enabled-sinks overhead {overhead_pct:.1f}% exceeds "
+              f"the {threshold_pct:.0f}% budget")
+        return 1
+    print("OK: event-log overhead within budget")
+    return 0
 
 
 def main() -> int:
@@ -63,9 +104,17 @@ def main() -> int:
                     help="profile the Phoronix sweep instead of configure")
     ap.add_argument("--repeat", type=int, default=1,
                     help="repeat the sweep N times (steadier timing)")
+    ap.add_argument("--obs-check", action="store_true",
+                    help="measure event-log on/off overhead and fail if "
+                         "attaching sinks costs more than the budget")
+    ap.add_argument("--obs-threshold", type=float, default=10.0,
+                    help="obs-check overhead budget in percent (default 10)")
     args = ap.parse_args()
 
     sweep = PHORONIX_SWEEP if args.phoronix else CONFIGURE_SWEEP
+    if args.obs_check:
+        return obs_check(sweep, repeat=max(3, args.repeat),
+                         threshold_pct=args.obs_threshold)
     profiler = cProfile.Profile() if args.profile else None
 
     t0 = time.perf_counter()

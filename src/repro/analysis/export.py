@@ -34,6 +34,7 @@ def result_to_dict(res: RunResult) -> Dict[str, Any]:
         "wakeup_latency_us": res.wakeup_latency_us,
         "policy_stats": dict(res.policy_stats),
         "extra": dict(res.extra),
+        "metrics": dict(res.metrics),
     }
     if res.underload is not None:
         out["underload_per_second"] = res.underload.underload_per_second

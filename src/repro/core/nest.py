@@ -17,13 +17,27 @@ directly, growing the nest.  See DESIGN.md for the mapping to the paper.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ..kernel.task import Task
+from ..obs import events as oev
+from ..obs.log import EventLog
+from ..obs.metrics import MetricsRegistry
 from ..sim.clock import TICK_US
 from .params import DEFAULT_PARAMS, NestParams
 from ..sched.base import SelectionPolicy
 from ..sched.cfs import CfsPolicy, _rotate
+
+#: Keys of the legacy ``stats`` dict, preserved by the compat property.
+STAT_KEYS = (
+    "primary_hits", "reserve_hits", "cfs_fallbacks", "attachment_hits",
+    "compactions", "exit_demotions", "impatient_placements", "placements",
+)
+
+#: Bucket edges for the placement-search-length histogram (cores examined
+#: before a placement was decided) and the primary-nest-size histogram.
+SEARCH_LEN_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+NEST_SIZE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class NestPolicy(SelectionPolicy):
@@ -41,16 +55,47 @@ class NestPolicy(SelectionPolicy):
         self.reserve: Set[int] = set()
         self.home_cpu: Optional[int] = None
         self._cfs = CfsPolicy()
-        # Statistics (exposed for tests and the ablation benches).
-        self.stats = {
-            "primary_hits": 0, "reserve_hits": 0, "cfs_fallbacks": 0,
-            "attachment_hits": 0, "compactions": 0, "exit_demotions": 0,
-            "impatient_placements": 0,
-        }
+        # Placement statistics live in a metrics registry (obs/metrics.py);
+        # the hot path increments counter objects directly.  The legacy
+        # ``stats`` dict is still available as a property view.
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._c_primary = m.counter("primary_hits")
+        self._c_reserve = m.counter("reserve_hits")
+        self._c_cfs = m.counter("cfs_fallbacks")
+        self._c_attach = m.counter("attachment_hits")
+        self._c_compact = m.counter("compactions")
+        self._c_exit = m.counter("exit_demotions")
+        self._c_impatient = m.counter("impatient_placements")
+        self._c_placements = m.counter("placements")
+        self._h_search = m.histogram("search_len", SEARCH_LEN_EDGES)
+        self._h_size = m.histogram("primary_size", NEST_SIZE_EDGES)
+        # Replaced with the engine's log on bind; a detached placeholder
+        # lets unbound policies (unit tests) run with events disabled.
+        self._obs = EventLog()
 
     def on_bind(self) -> None:
         self._cfs.kernel = self.kernel
         self._cfs.check_pending_default = self.params.placement_flag
+        self._obs = self.kernel.engine.obs
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy view of the placement counters (read-only snapshot)."""
+        counters = self.metrics.counters()
+        return {k: counters[k] for k in STAT_KEYS}
+
+    def check_invariants(self) -> None:
+        """Every placement is claimed by exactly one search tier."""
+        c = self.metrics.counters()
+        hits = (c["attachment_hits"] + c["primary_hits"]
+                + c["reserve_hits"] + c["cfs_fallbacks"])
+        if hits != c["placements"]:
+            raise AssertionError(
+                f"nest counter inconsistency: attachment({c['attachment_hits']})"
+                f" + primary({c['primary_hits']}) + reserve({c['reserve_hits']})"
+                f" + cfs({c['cfs_fallbacks']}) = {hits}"
+                f" != placements({c['placements']})")
 
     @property
     def name(self) -> str:
@@ -86,38 +131,59 @@ class NestPolicy(SelectionPolicy):
     def _select(self, task: Task, start: int, is_fork: bool,
                 waker_cpu: Optional[int] = None) -> int:
         p = self.params
+        self._c_placements.value += 1
+        obs = self._obs
+        examined = 0
 
         # §3.3: the first choice is always the attached core, if it is in
         # the primary nest and idle — even if it is compaction-eligible.
         if p.attachment_enabled and not is_fork:
             ac = task.attached_core
             if ac is not None and ac in self.primary and self._idle(ac):
-                self.stats["attachment_hits"] += 1
+                self._c_attach.value += 1
                 task.impatience = 0
+                self._finish_placement(0)
+                if obs.enabled:
+                    obs.emit(self.kernel.engine.now, oev.PLACE_ATTACH,
+                             cpu=ac, task=task.tid)
                 return ac
 
         impatient = (p.impatience_enabled
                      and task.impatience >= p.r_impatient and not is_fork)
 
         if not impatient:
-            cpu = self._search_primary(start, task, is_fork)
+            cpu, n = self._search_primary(start, task, is_fork)
+            examined += n
             if cpu is not None:
-                self.stats["primary_hits"] += 1
+                self._c_primary.value += 1
+                self._finish_placement(examined)
+                if obs.enabled:
+                    obs.emit(self.kernel.engine.now, oev.PLACE_PRIMARY,
+                             cpu=cpu, task=task.tid, value=examined)
                 return cpu
 
         if p.reserve_enabled:
-            cpu = self._search_reserve(start)
+            cpu, n = self._search_reserve(start)
+            examined += n
             if cpu is not None:
                 self.reserve.discard(cpu)
                 self.primary.add(cpu)
-                self.stats["reserve_hits"] += 1
+                self._c_reserve.value += 1
                 if impatient:
-                    self.stats["impatient_placements"] += 1
+                    self._c_impatient.value += 1
                     task.impatience = 0
+                self._finish_placement(examined)
+                if obs.enabled:
+                    now = self.kernel.engine.now
+                    kind = oev.PLACE_IMPATIENT if impatient \
+                        else oev.PLACE_RESERVE
+                    obs.emit(now, kind, cpu=cpu, task=task.tid, value=examined)
+                    obs.emit(now, oev.NEST_PROMOTE, cpu=cpu, task=task.tid,
+                             value=len(self.primary))
                 return cpu
 
         # Fall back on CFS (with Nest's §3.4 wakeup work conservation).
-        self.stats["cfs_fallbacks"] += 1
+        self._c_cfs.value += 1
         if is_fork:
             cpu = self._cfs.select_cpu_fork(task, start)
         else:
@@ -133,20 +199,36 @@ class NestPolicy(SelectionPolicy):
             # expand it, and the impatience counter resets.
             self.reserve.discard(cpu)
             self.primary.add(cpu)
-            self.stats["impatient_placements"] += 1
+            self._c_impatient.value += 1
             task.impatience = 0
+            if obs.enabled:
+                now = self.kernel.engine.now
+                obs.emit(now, oev.PLACE_IMPATIENT, cpu=cpu, task=task.tid,
+                         value=examined)
+                obs.emit(now, oev.NEST_EXPAND, cpu=cpu, task=task.tid,
+                         value=len(self.primary))
         elif cpu not in self.primary and cpu not in self.reserve:
             if p.reserve_enabled and len(self.reserve) < p.r_max:
                 self.reserve.add(cpu)
             # else: reserve full -> the core joins no nest (§3.1).
+        if obs.enabled and not impatient:
+            obs.emit(self.kernel.engine.now, oev.PLACE_CFS, cpu=cpu,
+                     task=task.tid, value=examined)
+        self._finish_placement(examined)
         return cpu
 
+    def _finish_placement(self, examined: int) -> None:
+        """Per-placement metric observations (search effort, nest size)."""
+        self._h_search.observe(examined)
+        self._h_size.observe(len(self.primary))
+
     def _search_primary(self, start: int, task: Task,
-                        is_fork: bool) -> Optional[int]:
+                        is_fork: bool) -> tuple[Optional[int], int]:
         """Idle-core search over the primary nest, same-die first, with
-        compaction of stale cores encountered along the way (§3.1)."""
+        compaction of stale cores encountered along the way (§3.1).
+        Returns (chosen cpu or None, candidates examined)."""
         if not self.primary:
-            return None
+            return None, 0
         p = self.params
         kernel = self.kernel
         topo = kernel.topology
@@ -163,7 +245,9 @@ class NestPolicy(SelectionPolicy):
                 and task.prev_cpu in self.primary:
             prefer = [task.prev_cpu]
 
+        examined = 0
         for cpu in prefer + candidates:
+            examined += 1
             if not self._idle(cpu):
                 continue
             if p.compaction_enabled and cpu not in prefer:
@@ -172,24 +256,27 @@ class NestPolicy(SelectionPolicy):
                     # §3.1: a task tried to use a stale core -> demote it.
                     self._demote(cpu)
                     continue
-            return cpu
-        return None
+            return cpu, examined
+        return None, examined
 
-    def _search_reserve(self, start: int) -> Optional[int]:
+    def _search_reserve(self, start: int) -> tuple[Optional[int], int]:
         """Idle-core search over the reserve nest, same-die-as-start first,
-        scanning from the fixed home core to limit dispersal (§3.1)."""
+        scanning from the fixed home core to limit dispersal (§3.1).
+        Returns (chosen cpu or None, candidates examined)."""
         if not self.reserve:
-            return None
+            return None, 0
         topo = self.kernel.topology
         home = self.home_cpu if self.home_cpu is not None else start
         start_die = topo.die_of(start)
         same_die = [c for c in self.reserve if topo.die_of(c) == start_die]
         other = [c for c in self.reserve if topo.die_of(c) != start_die]
+        examined = 0
         for cpu in list(_rotate(tuple(same_die), home)) \
                 + list(_rotate(tuple(other), home)):
+            examined += 1
             if self._idle(cpu):
-                return cpu
-        return None
+                return cpu, examined
+        return None, examined
 
     # ------------------------------------------------------------------
     # Nest maintenance hooks
@@ -203,14 +290,18 @@ class NestPolicy(SelectionPolicy):
         """§3.1: a task terminated and left the core idle — the core is no
         longer considered useful and is demoted immediately."""
         if cpu in self.primary and self.kernel.cpu_is_idle(cpu):
-            self._demote(cpu)
-            self.stats["exit_demotions"] += 1
+            self._demote(cpu, kind=oev.NEST_EXIT_DEMOTE)
+            self._c_exit.value += 1
 
-    def _demote(self, cpu: int) -> None:
+    def _demote(self, cpu: int, kind: str = oev.NEST_COMPACT) -> None:
         self.primary.discard(cpu)
         if self.params.reserve_enabled and len(self.reserve) < self.params.r_max:
             self.reserve.add(cpu)
-        self.stats["compactions"] += 1
+        self._c_compact.value += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.kernel.engine.now, kind, cpu=cpu,
+                     value=len(self.primary))
 
     def spin_ticks(self) -> float:
         return self.params.s_max_ticks if self.params.spin_enabled else 0.0

@@ -42,7 +42,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump when the cache *format* (not the engine) changes shape.
-FORMAT_VERSION = 1
+#: 2: added the serialized observability metrics registry ("metrics").
+FORMAT_VERSION = 2
 
 
 def default_cache_root() -> Path:
@@ -110,6 +111,7 @@ def result_to_jsonable(result: RunResult, machine_key: str) -> Dict[str, Any]:
         "wakeup_latency_us": result.wakeup_latency_us,
         "policy_stats": dict(result.policy_stats),
         "extra": dict(result.extra),
+        "metrics": dict(result.metrics),
         "sim_wall_s": result.sim_wall_s,
         "events_processed": result.events_processed,
     }
@@ -143,6 +145,7 @@ def result_from_jsonable(data: Dict[str, Any]) -> RunResult:
         wakeup_latency_us=data["wakeup_latency_us"],
         policy_stats=dict(data["policy_stats"]),
         extra=dict(data["extra"]),
+        metrics=dict(data.get("metrics", {})),
         sim_wall_s=data["sim_wall_s"],
         events_processed=data["events_processed"],
     )
@@ -208,6 +211,33 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    # -- sidecar reports -------------------------------------------------
+
+    def write_report(self, name: str, payload: Dict[str, Any]) -> Path:
+        """Atomically write a named JSON report next to the cache entries
+        (used for the ``last-sweep`` observability report)."""
+        path = self.root / f"{name}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def read_report(self, name: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.root / f"{name}.json", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
 
     # -- maintenance -----------------------------------------------------
 

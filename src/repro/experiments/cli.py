@@ -4,16 +4,19 @@ Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
 
     python -m repro list                 # machines, workloads, experiments
     python -m repro run --workload configure-llvm_ninja \
-        --machine 5218_2s --scheduler nest --governor schedutil
+        --machine 5218_2s --scheduler nest --governor schedutil \
+        --trace out.json                 # Perfetto trace (ui.perfetto.dev)
+    python -m repro trace fig2 --scale 0.5   # text digest of a traced run
     python -m repro compare --workload dacapo-h2 --machine 6130_4s --jobs 8
     python -m repro sweep fig5 --seeds 2 --scale 0.5   # registry sweep
     python -m repro cache stats          # result-cache maintenance
+    python -m repro obs report           # last sweep's observability report
     python -m repro describe fig5        # registry entry for an artefact
 
 Sweeping commands (``compare``, ``sweep``) parallelise over worker
-processes (``--jobs`` / ``$REPRO_JOBS``, default: all cpus) and consult
+processes (``--jobs`` / ``$REPRO_JOBS``, default: all cpus), consult
 the content-addressed result cache under ``.repro-cache/`` unless
-``--no-cache`` is given.
+``--no-cache`` is given, and show a live line with ``--progress``.
 """
 
 from __future__ import annotations
@@ -25,11 +28,12 @@ from typing import List, Optional
 
 from ..analysis.tables import pct, render_table
 from ..hw.machines import ALL_MACHINES, get_machine
+from ..obs.export import events_to_jsonl, text_summary, write_chrome_trace
 # Re-exported for backward compatibility: the catalogue used to live here.
 from ..workloads.catalog import make_workload, workload_names
 from .cache import ResultCache
-from .parallel import SweepExecutor
-from .registry import EXPERIMENTS, get_experiment, specs_for
+from .parallel import SweepExecutor, stderr_progress
+from .registry import EXPERIMENTS, get_experiment, reference_spec, specs_for
 from .runner import STANDARD_COMBOS, compare, run_experiment
 
 __all__ = ["build_parser", "main", "make_workload", "workload_names"]
@@ -40,7 +44,8 @@ def _executor_from_args(args) -> SweepExecutor:
     if not getattr(args, "no_cache", False):
         root = getattr(args, "cache_dir", None)
         cache = ResultCache(Path(root) if root else None)
-    return SweepExecutor(jobs=args.jobs, cache=cache)
+    progress = stderr_progress if getattr(args, "progress", False) else None
+    return SweepExecutor(jobs=args.jobs, cache=cache, progress=progress)
 
 
 def _cmd_list(args) -> int:
@@ -57,9 +62,15 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    trace_path = getattr(args, "trace", None)
+    events_path = getattr(args, "events", None)
+    wants_obs = bool(trace_path or events_path)
     wl = make_workload(args.workload, scale=args.scale)
-    res = run_experiment(wl, get_machine(args.machine), args.scheduler,
-                         args.governor, seed=args.seed)
+    machine = get_machine(args.machine)
+    res = run_experiment(wl, machine, args.scheduler,
+                         args.governor, seed=args.seed,
+                         record_trace=bool(trace_path),
+                         collect_events=wants_obs)
     print(res.brief())
     print(f"  wall={res.sim_wall_s:.3f}s  events={res.events_processed:,}  "
           f"({res.events_per_sec:,.0f} events/s)")
@@ -67,6 +78,83 @@ def _cmd_run(args) -> int:
         for label, frac in res.freq_dist.as_dict().items():
             if frac >= 0.005:
                 print(f"  {label}: {frac:.1%}")
+    if trace_path:
+        label = f"{res.workload} {res.scheduler}-{res.governor}"
+        write_chrome_trace(trace_path, res.trace_segments, res.events,
+                           n_cpus=machine.n_cpus, label=label)
+        print(f"  trace: {trace_path} "
+              f"({len(res.trace_segments)} segments, "
+              f"{len(res.events)} events; open at ui.perfetto.dev)")
+    if events_path:
+        with open(events_path, "w", encoding="utf-8") as fh:
+            n = events_to_jsonl(res.events, fh)
+        print(f"  events: {events_path} ({n} JSONL records)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    spec = None
+    try:
+        spec = reference_spec(get_experiment(args.experiment),
+                              seed=args.seed, scale=args.scale,
+                              machine=args.machine)
+        if spec is None:
+            print(f"error: {args.experiment} has no traceable workload "
+                  f"(pure table entry)", file=sys.stderr)
+            return 2
+    except KeyError:
+        # Not a registry id — fall back to treating it as a workload name.
+        from .parallel import RunSpec
+        make_workload(args.experiment)   # raises KeyError on bad names
+        spec = RunSpec(workload=args.experiment,
+                       machine=args.machine or "5218_2s",
+                       scheduler="nest", governor="schedutil",
+                       seed=args.seed, scale=args.scale, record_trace=True)
+
+    wl = make_workload(spec.workload, scale=spec.scale)
+    machine = get_machine(spec.machine)
+    res = run_experiment(wl, machine, spec.scheduler, spec.governor,
+                         seed=spec.seed, record_trace=True,
+                         collect_events=True)
+    print(res.brief())
+    print(text_summary(res.trace_segments, res.events, res.metrics))
+    if args.out:
+        write_chrome_trace(args.out, res.trace_segments, res.events,
+                           n_cpus=machine.n_cpus,
+                           label=f"{res.workload} "
+                                 f"{res.scheduler}-{res.governor}")
+        print(f"trace: {args.out} (open at ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    root = Path(args.cache_dir) if args.cache_dir else None
+    cache = ResultCache(root)
+    report = cache.read_report("last-sweep")
+    if report is None:
+        print(f"no sweep report under {cache.root} — run a sweep or "
+              f"compare first", file=sys.stderr)
+        return 1
+    st = report.get("stats", {})
+    print(f"last sweep: {st.get('n_specs', 0)} runs, "
+          f"{st.get('simulated', 0)} simulated, "
+          f"{st.get('cache_hits', 0)} cached, "
+          f"{st.get('wall_s', 0.0):.2f}s wall "
+          f"({st.get('workers', 0)} worker(s))")
+    if st.get("cache_used"):
+        print(f"  cache: {st.get('cache_hits', 0)} hit(s), "
+              f"{st.get('cache_misses', 0)} miss(es)")
+    if st.get("simulated"):
+        print(f"  {st.get('events', 0):,} engine events, "
+              f"{st.get('events_per_sec', 0.0):,.0f} events/s, "
+              f"{st.get('sim_wall_s', 0.0):.2f}s summed sim time")
+    runs = report.get("runs", [])
+    slowest = sorted(runs, key=lambda r: -r.get("sim_wall_s", 0.0))
+    for run in slowest[:args.top]:
+        src = "cache" if run.get("cached") else "sim  "
+        print(f"  {src} {run.get('sim_wall_s', 0.0):6.2f}s  "
+              f"{run.get('events_processed', 0):>12,} ev  "
+              f"{run.get('label', '?')}")
     return 0
 
 
@@ -142,6 +230,8 @@ def _add_sweep_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="result-cache directory (default: "
                         "$REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--progress", action="store_true",
+                   help="live per-run progress line on stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,7 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--verbose", action="store_true")
+    run_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Perfetto/Chrome trace JSON here")
+    run_p.add_argument("--events", default=None, metavar="PATH",
+                       help="write the structured event log as JSONL here")
     run_p.set_defaults(fn=_cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace", help="trace one representative run of an experiment")
+    trace_p.add_argument("experiment",
+                         help="registry id (e.g. fig2) or workload name")
+    trace_p.add_argument("--machine", default=None)
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument("--scale", type=float, default=1.0)
+    trace_p.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the Perfetto trace JSON here")
+    trace_p.set_defaults(fn=_cmd_trace)
 
     cmp_p = sub.add_parser("compare",
                            help="compare schedulers on one workload")
@@ -188,6 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("action", choices=["stats", "clear"])
     cache_p.add_argument("--cache-dir", default=None)
     cache_p.set_defaults(fn=_cmd_cache)
+
+    obs_p = sub.add_parser("obs", help="observability reports")
+    obs_p.add_argument("action", choices=["report"])
+    obs_p.add_argument("--cache-dir", default=None)
+    obs_p.add_argument("--top", type=int, default=8,
+                       help="show the N slowest runs (default: 8)")
+    obs_p.set_defaults(fn=_cmd_obs)
 
     desc_p = sub.add_parser("describe", help="show a registry entry")
     desc_p.add_argument("experiment")

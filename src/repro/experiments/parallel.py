@@ -19,10 +19,11 @@ Worker count comes from, in order: the ``jobs`` argument, the
 from __future__ import annotations
 
 import os
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..core.params import NestParams
 from ..hw.machines import get_machine
@@ -93,6 +94,8 @@ class SweepStats:
     n_specs: int = 0
     simulated: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    cache_used: bool = False
     workers: int = 1
     wall_s: float = 0.0
     events: int = 0
@@ -112,7 +115,35 @@ class SweepStats:
             parts.append(f"{self.events:,} events, "
                          f"{self.events_per_sec:,.0f} events/s, "
                          f"{self.workers} worker(s)")
+        if self.cache_used:
+            parts.append(f"cache: {self.cache_hits} hit(s), "
+                         f"{self.cache_misses} miss(es)")
         return " — ".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_specs": self.n_specs, "simulated": self.simulated,
+            "cache_hits": self.cache_hits, "cache_misses": self.cache_misses,
+            "cache_used": self.cache_used, "workers": self.workers,
+            "wall_s": self.wall_s, "events": self.events,
+            "sim_wall_s": self.sim_wall_s,
+            "events_per_sec": self.events_per_sec,
+        }
+
+
+#: Progress callback signature: (done, total, spec, result, cached).
+ProgressFn = Callable[[int, int, RunSpec, RunResult, bool], None]
+
+
+def stderr_progress(done: int, total: int, spec: RunSpec,
+                    result: RunResult, cached: bool) -> None:
+    """The default ``--progress`` live line (one carriage-returned line)."""
+    src = "cache " if cached else f"{result.sim_wall_s:5.2f}s"
+    line = f"\r[{done}/{total}] {src}  {spec.label}"
+    sys.stderr.write(line[:118].ljust(118))
+    if done == total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
 
 
 class SweepExecutor:
@@ -125,15 +156,19 @@ class SweepExecutor:
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.cache = cache
+        self.progress = progress
         self.last_stats = SweepStats()
 
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Execute every spec; returns results in the order of ``specs``."""
         t0 = time.perf_counter()
         results: List[Optional[RunResult]] = [None] * len(specs)
+        progress = self.progress
+        done = 0
 
         misses: List[int] = []
         hits = 0
@@ -147,16 +182,41 @@ class SweepExecutor:
                     misses.append(i)
         else:
             misses = list(range(len(specs)))
+        if progress is not None:
+            for i, res in enumerate(results):
+                if res is not None:
+                    done += 1
+                    progress(done, len(specs), specs[i], res, True)
 
         workers = min(self.jobs, len(misses)) if misses else 0
         if workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = pool.map(execute_spec, [specs[i] for i in misses])
-                for i, res in zip(misses, fresh):
-                    results[i] = res
+                if progress is None:
+                    fresh = pool.map(execute_spec, [specs[i] for i in misses])
+                    for i, res in zip(misses, fresh):
+                        results[i] = res
+                else:
+                    # submit + wait so the progress line moves as runs
+                    # complete; the index map keeps results in spec order,
+                    # so output is identical to the map() path.
+                    futures = {pool.submit(execute_spec, specs[i]): i
+                               for i in misses}
+                    pending = set(futures)
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED)
+                        for fut in finished:
+                            i = futures[fut]
+                            results[i] = fut.result()
+                            done += 1
+                            progress(done, len(specs), specs[i],
+                                     results[i], False)
         else:
             for i in misses:
                 results[i] = execute_spec(specs[i])
+                if progress is not None:
+                    done += 1
+                    progress(done, len(specs), specs[i], results[i], False)
 
         if self.cache is not None:
             for i in misses:
@@ -168,9 +228,32 @@ class SweepExecutor:
             n_specs=len(specs),
             simulated=len(misses),
             cache_hits=hits,
+            cache_misses=len(misses) if self.cache is not None else 0,
+            cache_used=self.cache is not None,
             workers=max(workers, 1) if misses else 0,
             wall_s=time.perf_counter() - t0,
             events=sum(out[i].events_processed for i in misses),
             sim_wall_s=sum(out[i].sim_wall_s for i in misses),
         )
+        self._write_report(specs, out, set(misses))
         return out
+
+    def _write_report(self, specs: Sequence[RunSpec],
+                      results: Sequence[RunResult], missed: set) -> None:
+        """Persist the sweep's observability report (``repro obs report``)."""
+        if self.cache is None:
+            return
+        runs = [{
+            "label": spec.label,
+            "cached": i not in missed,
+            "sim_wall_s": res.sim_wall_s,
+            "events_processed": res.events_processed,
+            "makespan_us": res.makespan_us,
+        } for i, (spec, res) in enumerate(zip(specs, results))]
+        try:
+            self.cache.write_report("last-sweep", {
+                "stats": self.last_stats.as_dict(),
+                "runs": runs,
+            })
+        except OSError:
+            pass   # a read-only cache dir must not kill the sweep

@@ -9,7 +9,7 @@ the index cannot drift from the code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..workloads.configure import configure_names
 from ..workloads.dacapo import dacapo_names
@@ -254,6 +254,34 @@ def specs_for(
                                        scheduler=scheduler, governor=governor,
                                        seed=seed, scale=scale))
     return out
+
+
+def reference_spec(exp: Experiment, seed: int = 1, scale: float = 1.0,
+                   machine: Optional[str] = None) -> Optional["RunSpec"]:
+    """The single representative run used to *trace* an experiment.
+
+    Picks the experiment's first buildable workload on its first machine
+    (or ``machine``), preferring a Nest combo so the trace shows the nest
+    mechanisms; returns ``None`` when the entry has nothing buildable
+    (pure tables).  The spec records the execution trace.
+    """
+    from ..workloads.catalog import make_workload
+    from .parallel import RunSpec
+
+    combos = exp.combos or (("nest", "schedutil"),)
+    scheduler, governor = next(
+        (c for c in combos if c[0] == "nest"), combos[0])
+    machines = (machine,) if machine else exp.machines
+    for mk in machines:
+        for workload in exp.workloads:
+            try:
+                make_workload(workload)
+            except KeyError:
+                continue
+            return RunSpec(workload=workload, machine=mk,
+                           scheduler=scheduler, governor=governor,
+                           seed=seed, scale=scale, record_trace=True)
+    return None
 
 
 def all_experiments() -> List[Experiment]:

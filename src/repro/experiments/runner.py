@@ -79,10 +79,17 @@ def run_experiment(
     record_trace: bool = False,
     max_us: Optional[int] = None,
     kernel_config: Optional[KernelConfig] = None,
+    collect_events: bool = False,
 ) -> RunResult:
-    """Run one simulation to completion and collect its measurements."""
+    """Run one simulation to completion and collect its measurements.
+
+    ``collect_events=True`` attaches a memory sink to the engine's
+    structured event log; the events ride on the result as
+    ``result.events`` (transient — not cached, like trace segments).
+    """
     wall_start = time.perf_counter()
     engine = Engine(seed)
+    events = engine.obs.attach_memory() if collect_events else None
     tracer = Tracer(machine.n_cpus, record_segments=record_trace)
     policy = make_policy(scheduler, nest_params)
     gov = make_governor(governor)
@@ -97,6 +104,12 @@ def run_experiment(
 
     workload.start(kernel)
     end = kernel.run_until_idle(max_us)
+    policy.check_invariants()
+
+    metrics = kernel.metrics.as_dict("kernel.")
+    policy_registry = getattr(policy, "metrics", None)
+    if policy_registry is not None:
+        metrics.update(policy_registry.as_dict(f"{policy.name.lower()}."))
 
     tasks = kernel.tasks.values()
     result = RunResult(
@@ -114,12 +127,16 @@ def run_experiment(
         total_wakeups=sum(t.n_wakeups for t in tasks),
         wakeup_latency_us=sum(t.wakeup_latency_us for t in tasks),
         policy_stats=dict(getattr(policy, "stats", {})),
+        metrics=metrics,
         sim_wall_s=time.perf_counter() - wall_start,
         events_processed=engine.events_processed,
     )
     if record_trace:
         result.extra["n_segments"] = float(len(tracer.segments))
         result.trace_segments = tracer.segments  # type: ignore[attr-defined]
+    if events is not None:
+        result.extra["n_events"] = float(len(events))
+        result.events = events  # type: ignore[attr-defined]
     return result
 
 

@@ -12,6 +12,8 @@ long-idle core restarts from a low request (and a low actual frequency).
 from __future__ import annotations
 
 from ..kernel.pelt import PELT_MAX
+from ..obs import events as oev
+from ..obs.log import EventLog
 from .base import Governor
 
 #: Headroom multiplier used by the kernel ("1.25 * max * util / max_cap").
@@ -20,6 +22,13 @@ HEADROOM = 1.25
 
 class SchedutilGovernor(Governor):
     """Utilisation-driven frequency requests with the full range allowed."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._obs = EventLog()   # replaced with the engine's log on bind
+
+    def on_bind(self) -> None:
+        self._obs = self.kernel.engine.obs
 
     def floor_mhz(self, cpu: int) -> int:
         return self.kernel.machine.min_mhz
@@ -41,8 +50,11 @@ class SchedutilGovernor(Governor):
             est += t.util_est
         util = max(util, min(PELT_MAX, est))
         f = HEADROOM * kernel.machine.max_turbo_mhz * util / PELT_MAX
-        return max(kernel.machine.min_mhz,
-                   min(kernel.machine.max_turbo_mhz, int(f)))
+        mhz = max(kernel.machine.min_mhz,
+                  min(kernel.machine.max_turbo_mhz, int(f)))
+        if self._obs.enabled:
+            self._obs.emit(now, oev.FREQ_REQUEST, cpu=cpu, value=mhz)
+        return mhz
 
     @property
     def name(self) -> str:

@@ -31,6 +31,8 @@ from typing import Any, Callable, Dict, List, Optional
 from ..hw.energy import EnergyMeter
 from ..hw.freqmodel import FreqModel
 from ..hw.machines import Machine
+from ..obs import events as oev
+from ..obs.metrics import MetricsRegistry
 from ..sim.clock import TICK_US
 from ..sim.engine import Engine, SimulationError
 from ..sim.events import EventKind
@@ -125,6 +127,13 @@ class Kernel:
 
         self.tracer = tracer or Tracer(n)
         self.energy = energy or EnergyMeter(self.topology)
+        #: Structured-event log (shared with every component via the
+        #: engine) and the kernel's always-on metrics registry.
+        self.obs = engine.obs
+        self.metrics = MetricsRegistry()
+        self._h_wakeup_latency = self.metrics.histogram(
+            "wakeup_latency_us",
+            (1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000))
         self.freq = FreqModel(engine, self.topology, machine.turbo,
                               machine.pm, governor)
         self.freq.add_listener(self._on_core_freq_change)
@@ -214,6 +223,10 @@ class Kernel:
         rq = self.rqs[cpu]
         rq.placement_pending += 1
         task.record_core(cpu)
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now,
+                          oev.SCHED_FORK if kind is EventKind.FORK
+                          else oev.SCHED_WAKEUP, cpu=cpu, task=task.tid)
         # The enqueue becomes visible a couple of µs after selection (the
         # §3.4 race window); the cost of waking an idle core out of its
         # C-state is charged to the task's first compute slice instead.
@@ -268,6 +281,9 @@ class Kernel:
         curr = cs.current
         if curr is None:
             return
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, oev.SCHED_PREEMPT, cpu=cpu,
+                          task=curr.tid)
         self._stop_running(cpu, curr)
         curr.state = TaskState.RUNNABLE
         curr.enqueued_us = self.engine.now
@@ -311,8 +327,13 @@ class Kernel:
         task.state = TaskState.RUNNING
         task.cpu = cpu
         if task.enqueued_us is not None:
-            task.wakeup_latency_us += now - task.enqueued_us
+            latency = now - task.enqueued_us
+            task.wakeup_latency_us += latency
             task.enqueued_us = None
+            self._h_wakeup_latency.observe(latency)
+            if self.obs.enabled:
+                self.obs.emit(now, oev.SCHED_DISPATCH, cpu=cpu,
+                              task=task.tid, value=latency)
         if task.exec_start_us is None:
             task.exec_start_us = now
         cs.current = task
@@ -615,6 +636,8 @@ class Kernel:
             sib_busy = sib != cpu and self.cpus[sib].current is not None
             if not sib_busy:
                 cs.spinning = True
+                if self.obs.enabled:
+                    self.obs.emit(self.engine.now, oev.SPIN_START, cpu=cpu)
                 self._set_thread_activity(cpu, busy=False, spinning=True)
                 self.tracer.begin(cpu, self.engine.now,
                                   self.freq.freq_mhz(cpu), -1, spinning=True)
@@ -638,6 +661,8 @@ class Kernel:
         if cs.spin_event is not None:
             self.engine.cancel(cs.spin_event)
             cs.spin_event = None
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, oev.SPIN_STOP, cpu=cpu)
         self.tracer.end(cpu, self.engine.now)
         self._set_thread_activity(cpu, busy=False)
 
@@ -667,6 +692,8 @@ class Kernel:
     def _on_core_freq_change(self, physical_core: int, mhz: int) -> None:
         now = self.engine.now
         self.energy.set_core_freq(physical_core, mhz, now)
+        if self.obs.enabled:
+            self.obs.emit(now, oev.FREQ_STEP, cpu=physical_core, value=mhz)
         for cpu in self.smt_siblings_of[physical_core]:
             self.tracer.freq_change(cpu, now, mhz)
             self._reprice_running(cpu)
@@ -761,6 +788,9 @@ class Kernel:
         if task is None:
             return None
         task.n_migrations += 1
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, oev.SCHED_MIGRATE, cpu=cpu,
+                          task=task.tid, value=best)
         return task
 
     def _periodic_balance(self) -> None:
@@ -798,6 +828,9 @@ class Kernel:
         """Move a queued (RUNNABLE) task from ``src`` to ``dst``."""
         task.prev_cpu = src
         task.n_migrations += 1
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, oev.SCHED_MIGRATE, cpu=dst,
+                          task=task.tid, value=src)
         cs = self.cpus[dst]
         if cs.spinning:
             self._stop_spin(dst)

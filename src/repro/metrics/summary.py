@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..sim.clock import US_PER_SEC
 from .freqdist import FreqDistribution
@@ -29,6 +29,11 @@ class RunResult:
     wakeup_latency_us: int = 0
     policy_stats: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Serialized observability registry (obs/metrics.py): counters, gauges
+    #: and histograms from the kernel (``kernel.*``) and the selection
+    #: policy (``nest.*``).  Deterministic and cached with the result;
+    #: rebuild instruments with ``MetricsRegistry.from_dict``.
+    metrics: Dict[str, Any] = field(default_factory=dict)
     #: Host-side telemetry: wall-clock seconds the simulation took and how
     #: many engine events it processed.  Nondeterministic (timing), so it is
     #: excluded from determinism comparisons; a cache hit reports the wall

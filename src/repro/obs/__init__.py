@@ -1,0 +1,33 @@
+"""Unified observability layer.
+
+Four pieces, designed to cost nothing when nobody is looking:
+
+* :mod:`repro.obs.events` — the typed, timestamped record vocabulary: one
+  :class:`~repro.obs.events.SchedEvent` per scheduler decision (placement,
+  nest transition, wakeup, preemption, DVFS step, spin start/stop).
+* :mod:`repro.obs.log` — the :class:`~repro.obs.log.EventLog` hub the
+  simulator emits into.  Hot paths guard every emission with
+  ``if obs.enabled:``, so a run with no sinks attached allocates no event
+  objects and pays one attribute read per potential emission.
+* :mod:`repro.obs.metrics` — the :class:`~repro.obs.metrics.MetricsRegistry`
+  of named counters, gauges and fixed-bucket histograms.  Always on (it
+  replaced the ad-hoc ``NestPolicy.stats`` dict) and serialized into
+  :class:`~repro.metrics.summary.RunResult` and the result cache.
+* :mod:`repro.obs.export` — exporters: Perfetto/Chrome ``trace_event``
+  JSON (open it at https://ui.perfetto.dev), a JSONL event dump, and the
+  plain-text summary behind ``repro trace``.
+"""
+
+from .events import EVENT_KINDS, SchedEvent
+from .log import EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "EVENT_KINDS",
+    "SchedEvent",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

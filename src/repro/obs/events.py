@@ -1,0 +1,81 @@
+"""The structured scheduler-event vocabulary.
+
+Every decision the paper's figures reason about becomes one typed,
+timestamped record: which search tier placed a task (§3.1/§3.3), when the
+nest grew or was compacted, when a core started or stopped the warm-core
+spin (§3.2), when the hardware stepped a core's frequency (§2.3), and the
+generic kernel happenings (wakeups, forks, preemptions, migrations) that
+give the rest context.
+
+A :class:`SchedEvent` is a ``NamedTuple`` on purpose: construction is one
+C-level allocation, there is no ``__dict__``, and it unpacks positionally
+in sinks — the event log stays cheap even for event-per-placement rates.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class SchedEvent(NamedTuple):
+    """One timestamped scheduler event.
+
+    ``cpu`` and ``task`` are ``-1`` when not applicable; ``value`` carries
+    the kind-specific payload (frequency in MHz for ``freq.*``, primary-nest
+    size after the transition for ``nest.*``, source cpu for migrations,
+    wakeup latency in µs for ``sched.dispatch``).
+    """
+
+    t: int          # simulated time, µs
+    kind: str       # one of EVENT_KINDS
+    cpu: int = -1
+    task: int = -1
+    value: int = 0
+
+
+# --- placement decisions: which tier of the §3 search chose the core -----
+PLACE_ATTACH = "place.attach"          # §3.3 attached-core hit
+PLACE_PRIMARY = "place.primary"        # primary-nest hit
+PLACE_RESERVE = "place.reserve"        # reserve-nest hit (promotes the core)
+PLACE_IMPATIENT = "place.impatient"    # §3.1 impatient expansion via CFS
+PLACE_CFS = "place.cfs"                # fell through to CFS
+
+# --- nest membership transitions (Figure 1's blue arrows) ----------------
+NEST_PROMOTE = "nest.promote"          # reserve -> primary
+NEST_EXPAND = "nest.expand"            # impatient: CFS pick -> primary
+NEST_COMPACT = "nest.compact"          # stale primary core demoted (§3.1)
+NEST_EXIT_DEMOTE = "nest.exit_demote"  # task exit demoted its core (§3.1)
+
+# --- kernel-level happenings ---------------------------------------------
+SCHED_FORK = "sched.fork"              # fork placement committed
+SCHED_WAKEUP = "sched.wakeup"          # wakeup placement committed
+SCHED_DISPATCH = "sched.dispatch"      # task started running (value=latency)
+SCHED_PREEMPT = "sched.preempt"        # running task preempted
+SCHED_MIGRATE = "sched.migrate"        # queued task moved (value=source cpu)
+
+# --- warm-core spinning (§3.2) -------------------------------------------
+SPIN_START = "spin.start"
+SPIN_STOP = "spin.stop"
+
+# --- DVFS (§2.3) ---------------------------------------------------------
+FREQ_STEP = "freq.step"                # hardware stepped a physical core
+FREQ_REQUEST = "freq.request"          # schedutil computed a request
+
+#: Every kind the log may carry, for exporters and schema validation.
+EVENT_KINDS = frozenset({
+    PLACE_ATTACH, PLACE_PRIMARY, PLACE_RESERVE, PLACE_IMPATIENT, PLACE_CFS,
+    NEST_PROMOTE, NEST_EXPAND, NEST_COMPACT, NEST_EXIT_DEMOTE,
+    SCHED_FORK, SCHED_WAKEUP, SCHED_DISPATCH, SCHED_PREEMPT, SCHED_MIGRATE,
+    SPIN_START, SPIN_STOP,
+    FREQ_STEP, FREQ_REQUEST,
+})
+
+#: The nest-membership transitions, exported as Perfetto instant events.
+NEST_TRANSITION_KINDS = frozenset({
+    NEST_PROMOTE, NEST_EXPAND, NEST_COMPACT, NEST_EXIT_DEMOTE,
+})
+
+#: Placement-decision kinds, in presentation order for summaries.
+PLACEMENT_KINDS = (
+    PLACE_ATTACH, PLACE_PRIMARY, PLACE_RESERVE, PLACE_IMPATIENT, PLACE_CFS,
+)

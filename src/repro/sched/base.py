@@ -56,6 +56,13 @@ class SelectionPolicy:
     def on_exit_idle(self, cpu: int) -> None:
         """A task exited and ``cpu`` may now be idle."""
 
+    def check_invariants(self) -> None:
+        """Verify internal counter consistency after a run (no-op default).
+
+        Policies that keep placement statistics assert here that the
+        counters add up (e.g. Nest: tier hits == total placements); the
+        experiment runner calls this once per completed simulation."""
+
     @property
     def name(self) -> str:
         return type(self).__name__

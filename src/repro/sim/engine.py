@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..obs.log import EventLog
 from .clock import Clock
 from .events import Event, EventKind
 from .queue import EventQueue
@@ -34,6 +35,12 @@ class Engine:
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.events_processed = 0
+        #: The run's structured observability log (obs/).  Disabled until a
+        #: sink is attached; every component that can see the engine (the
+        #: kernel, policies via the kernel, the frequency model) emits
+        #: through it behind an ``if obs.enabled:`` guard, so a run with no
+        #: sinks allocates no event records.
+        self.obs = EventLog()
         #: Mirror of ``clock.now``, kept in sync by the run loop.  A plain
         #: attribute: ``engine.now`` is the single hottest read in the
         #: simulator and a property call per read showed up in profiles.

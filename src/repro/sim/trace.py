@@ -94,5 +94,18 @@ class Tracer:
             self.end(core, now)
 
     def busy_segments(self) -> List[Segment]:
-        """Recorded segments where a real task was running."""
+        """Recorded segments where a real task was running.
+
+        Only meaningful on a tracer constructed with
+        ``record_segments=True``.  Without recording the tracer still
+        forwards every segment to its sinks but stores nothing, so this
+        used to silently return ``[]`` — now it raises instead.  Metric
+        consumers that do not need stored segments should subscribe via
+        :meth:`add_sink`.
+        """
+        if not self.record_segments:
+            raise RuntimeError(
+                "busy_segments() on a Tracer with record_segments=False: "
+                "no segments were stored; construct the Tracer with "
+                "record_segments=True or consume segments via add_sink()")
         return [s for s in self.segments if s.task_id >= 0 and not s.spinning]

@@ -1,0 +1,22 @@
+"""Regenerate the golden Perfetto trace pinned by test_obs_export.py.
+
+Run after an *intentional* simulator or exporter change::
+
+    PYTHONPATH=src:tests python tests/golden_regen.py
+
+then review the diff of tests/data/golden_trace.json before committing.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_obs_export import GOLDEN_PATH, golden_doc, golden_json  # noqa: E402
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json(golden_doc()) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")

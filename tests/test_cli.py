@@ -84,3 +84,81 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--workload", "x",
                                        "--scheduler", "rr"])
+
+
+class TestObservabilityCli:
+    def test_run_trace_writes_valid_perfetto_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+        out = tmp_path / "trace.json"
+        rc = main(["run", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--scheduler", "nest",
+                   "--scale", "0.3", "--trace", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_run_events_writes_jsonl(self, tmp_path):
+        import json
+        out = tmp_path / "events.jsonl"
+        rc = main(["run", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--scheduler", "nest",
+                   "--scale", "0.3", "--events", str(out)])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert set(first) == {"t", "kind", "cpu", "task", "value"}
+
+    def test_trace_subcommand_registry_id(self, capsys):
+        rc = main(["trace", "fig2", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cores used:" in out and "placements:" in out
+
+    def test_trace_subcommand_workload_name(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        rc = main(["trace", "configure-gcc", "--machine", "ryzen_4650g",
+                   "--scale", "0.3", "--out", str(out_path)])
+        assert rc == 0
+        assert out_path.is_file()
+        assert "cores used:" in capsys.readouterr().out
+
+    def test_trace_pure_table_is_error(self, capsys):
+        assert main(["trace", "table1"]) == 2
+
+    def test_trace_unknown_name_is_error(self):
+        assert main(["trace", "quake3"]) == 2
+
+    def test_obs_report_without_sweep_is_error(self, tmp_path):
+        assert main(["obs", "report", "--cache-dir",
+                     str(tmp_path / "empty")]) == 1
+
+    def test_obs_report_after_sweep(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        rc = main(["compare", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--seeds", "1",
+                   "--scale", "0.3", "--jobs", "1",
+                   "--cache-dir", cache_dir, "--progress"])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "last sweep: 4 runs" in out
+        assert "cache: 0 hit(s), 4 miss(es)" in out
+
+    def test_sweep_summary_shows_cache_counters(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["compare", "--workload", "configure-gcc",
+                "--machine", "ryzen_4650g", "--seeds", "1",
+                "--scale", "0.3", "--jobs", "1", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "(4 simulated, 0 cached)" in first
+        assert "cache: 0 hit(s), 4 miss(es)" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "(0 simulated, 4 cached)" in second
+        assert "cache: 4 hit(s), 0 miss(es)" in second

@@ -1,5 +1,7 @@
 """Tests for the tracer."""
 
+import pytest
+
 from repro.sim.trace import Segment, Tracer
 
 
@@ -88,3 +90,12 @@ class TestTracer:
         t.begin(1, 0, 3000, -1, spinning=True)
         t.end(1, 5)
         assert [s.task_id for s in t.busy_segments()] == [5]
+
+    def test_busy_segments_raises_without_recording(self):
+        """Sink-only tracers store nothing; asking for segments must not
+        silently return []."""
+        t = Tracer(1, record_segments=False)
+        t.begin(0, 0, 1500, 3)
+        t.end(0, 8)
+        with pytest.raises(RuntimeError, match="record_segments"):
+            t.busy_segments()

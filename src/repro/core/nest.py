@@ -293,6 +293,39 @@ class NestPolicy(SelectionPolicy):
             self._demote(cpu, kind=oev.NEST_EXIT_DEMOTE)
             self._c_exit.value += 1
 
+    def on_cpu_offline(self, cpu: int) -> None:
+        """Nest repair for a hotplug fault: a vanished core must leave both
+        nests immediately, or the primary/reserve searches would keep
+        tripping over it.  The eviction is not a compaction — it does not
+        touch the placement counters, so the accounting invariant is
+        unaffected.  (The kernel scrubs task attachment histories.)"""
+        evicted = False
+        if cpu in self.primary:
+            self.primary.discard(cpu)
+            evicted = True
+        if cpu in self.reserve:
+            self.reserve.discard(cpu)
+            evicted = True
+        if self.home_cpu == cpu:
+            # Reserve scans re-anchor on the next placement's cpu.
+            self.home_cpu = None
+        if evicted:
+            # Lazily created so fault-free runs keep an identical metrics
+            # dict (and identical cached results).
+            self.metrics.counter("offline_evictions").value += 1
+            obs = self._obs
+            if obs.enabled:
+                obs.emit(self.kernel.engine.now, oev.NEST_OFFLINE_EVICT,
+                         cpu=cpu, value=len(self.primary))
+
+    def select_cpu_offline_migration(self, task: Task,
+                                     offline_cpu: int) -> Optional[int]:
+        """Re-place a task orphaned by a hotplug fault through the normal
+        nest search, so the move is counted like any other placement and
+        the orphan lands back inside the (repaired) nest when possible."""
+        return self._select(task, start=offline_cpu, is_fork=False,
+                            waker_cpu=offline_cpu)
+
     def _demote(self, cpu: int, kind: str = oev.NEST_COMPACT) -> None:
         self.primary.discard(cpu)
         if self.params.reserve_enabled and len(self.reserve) < self.params.r_max:

@@ -2,17 +2,19 @@
 
 A :class:`RunSpec` fully determines a simulation (the engine is
 deterministic), so its canonical JSON — machine, workload and scale,
-scheduler, governor, Nest parameters, kernel config, seed — hashed
-together with the engine-version salt is a content address for the
+scheduler, governor, Nest parameters, kernel config, fault config, seed —
+hashed together with the engine-version salt is a content address for the
 :class:`RunResult`.  Re-running a figure or a benchmark sweep then only
 simulates cache misses; everything else is a JSON read.
 
 Entries live under ``.repro-cache/<hh>/<hash>.json`` (sharded by the first
 two hex digits; override the root with ``$REPRO_CACHE_DIR``).  Writes are
-atomic (temp file + rename) so concurrent sweep workers never expose a
-torn entry.  :data:`repro.sim.engine.ENGINE_VERSION` is mixed into every
-key: bumping it after a semantic engine change orphans all stale entries
-at once.
+atomic and durable (temp file + fsync + rename) so concurrent sweep
+workers never expose a torn entry and a crash never leaves a half-written
+one.  An entry that fails to decode is moved into ``.quarantine/`` rather
+than deleted — ``repro cache verify`` scans for such entries in bulk.
+:data:`repro.sim.engine.ENGINE_VERSION` is mixed into every key: bumping
+it after a semantic engine change orphans all stale entries at once.
 
 Wall-clock telemetry (``sim_wall_s``, ``events_processed``) is stored with
 the entry, so a hit reports the cost of the run that produced it.
@@ -27,7 +29,7 @@ import os
 import shutil
 import tempfile
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..hw.machines import get_machine
 from ..metrics.freqdist import FreqDistribution
@@ -45,9 +47,41 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: 2: added the serialized observability metrics registry ("metrics").
 FORMAT_VERSION = 2
 
+#: Subdirectory of the cache root where corrupt entries are parked.
+QUARANTINE_DIR = ".quarantine"
+
+#: Exceptions that mean "this entry cannot be decoded" (as opposed to
+#: "this entry does not exist", which is a plain miss).
+_DECODE_ERRORS = (json.JSONDecodeError, KeyError, TypeError, ValueError)
+
 
 def default_cache_root() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def atomic_write_json(path: Path, payload: Any, *, indent: Optional[int] = None,
+                      sort_keys: bool = False) -> None:
+    """Write JSON so readers never observe a torn or half-flushed file.
+
+    Temp file in the destination directory (same filesystem, so the final
+    ``os.replace`` is atomic), fsync before the rename (so a crash cannot
+    leave a zero-length or truncated file under the final name).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys,
+                      separators=None if indent else (",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -71,6 +105,11 @@ def spec_key(spec: "RunSpec") -> str:
         "kernel_config": (None if spec.kernel_config is None
                           else dataclasses.asdict(spec.kernel_config)),
     }
+    # Only mixed in when set, so every pre-existing (fault-free) entry
+    # keeps its address.
+    faults = getattr(spec, "faults", None)
+    if faults is not None:
+        payload["faults"] = dataclasses.asdict(faults)
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
 
@@ -162,11 +201,21 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0   # corrupt entries moved aside this session
 
     # -- path plumbing ---------------------------------------------------
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _entry_paths(self):
+        """Every cache entry on disk (quarantine excluded)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
+            yield path
 
     # -- spec-level API --------------------------------------------------
 
@@ -191,26 +240,59 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            result = result_from_jsonable(data)
+        except OSError:
+            self.misses += 1           # plain miss: no such entry
             return None
-        self.hits += 1
-        return result_from_jsonable(data)
-
-    def put(self, key: str, payload: Dict[str, Any]) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException:
+        except _DECODE_ERRORS:
+            # A torn, truncated or schema-incompatible entry: park it in
+            # quarantine so the miss is repaired by re-simulation and the
+            # evidence survives for inspection.
+            self.misses += 1
             try:
-                os.unlink(tmp)
+                self.quarantine(path)
             except OSError:
                 pass
-            raise
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        atomic_write_json(self._path(key), payload)
+
+    # -- quarantine ------------------------------------------------------
+
+    def quarantine(self, path: Path) -> Path:
+        """Move one corrupt entry into ``.quarantine/`` (same filesystem,
+        atomic rename); returns the new location."""
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / path.name
+        os.replace(path, dest)
+        self.quarantined += 1
+        return dest
+
+    def verify(self, fix: bool = True) -> Dict[str, Any]:
+        """Decode every entry; report (and with ``fix`` quarantine) the
+        corrupt ones.  Backs the ``repro cache verify`` subcommand."""
+        checked = 0
+        bad: List[Dict[str, str]] = []
+        for path in self._entry_paths():
+            checked += 1
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    result_from_jsonable(json.load(fh))
+            except (OSError,) + _DECODE_ERRORS as exc:
+                entry = {"path": str(path),
+                         "error": f"{type(exc).__name__}: {exc}"}
+                if fix:
+                    try:
+                        entry["quarantined_to"] = str(self.quarantine(path))
+                    except OSError as move_exc:
+                        entry["quarantine_failed"] = str(move_exc)
+                bad.append(entry)
+        return {"checked": checked, "corrupt": len(bad), "entries": bad,
+                "quarantine_dir": str(self.root / QUARANTINE_DIR)}
 
     # -- sidecar reports -------------------------------------------------
 
@@ -218,18 +300,7 @@ class ResultCache:
         """Atomically write a named JSON report next to the cache entries
         (used for the ``last-sweep`` observability report)."""
         path = self.root / f"{name}.json"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload, indent=2, sort_keys=True)
         return path
 
     def read_report(self, name: str) -> Optional[Dict[str, Any]]:
@@ -245,14 +316,18 @@ class ResultCache:
         """Entry count and total size on disk (plus session hit counters)."""
         n = 0
         size = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*/*.json"):
-                n += 1
-                try:
-                    size += path.stat().st_size
-                except OSError:
-                    pass
+        quarantined = 0
+        for path in self._entry_paths():
+            n += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        qdir = self.root / QUARANTINE_DIR
+        if qdir.is_dir():
+            quarantined = sum(1 for _ in qdir.glob("*.json"))
         return {"root": str(self.root), "entries": n, "bytes": size,
+                "quarantined": quarantined,
                 "session_hits": self.hits, "session_misses": self.misses}
 
     def clear(self) -> int:

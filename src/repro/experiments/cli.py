@@ -26,7 +26,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+import dataclasses
+
 from ..analysis.tables import pct, render_table
+from ..faults import FAULT_PROFILES, FaultConfig, fault_profile
 from ..hw.machines import ALL_MACHINES, get_machine
 from ..obs.export import events_to_jsonl, text_summary, write_chrome_trace
 # Re-exported for backward compatibility: the catalogue used to live here.
@@ -45,7 +48,18 @@ def _executor_from_args(args) -> SweepExecutor:
         root = getattr(args, "cache_dir", None)
         cache = ResultCache(Path(root) if root else None)
     progress = stderr_progress if getattr(args, "progress", False) else None
-    return SweepExecutor(jobs=args.jobs, cache=cache, progress=progress)
+    return SweepExecutor(jobs=args.jobs, cache=cache, progress=progress,
+                         timeout_s=getattr(args, "timeout", None),
+                         retries=getattr(args, "retries", 2),
+                         skip_failures=getattr(args, "keep_going", False))
+
+
+def _faults_from_args(args) -> "FaultConfig | None":
+    name = getattr(args, "faults", None)
+    if not name or name == "none":
+        return None
+    cfg = fault_profile(name)
+    return cfg if cfg.enabled else None
 
 
 def _cmd_list(args) -> int:
@@ -67,13 +81,23 @@ def _cmd_run(args) -> int:
     wants_obs = bool(trace_path or events_path)
     wl = make_workload(args.workload, scale=args.scale)
     machine = get_machine(args.machine)
+    faults = _faults_from_args(args)
     res = run_experiment(wl, machine, args.scheduler,
                          args.governor, seed=args.seed,
                          record_trace=bool(trace_path),
-                         collect_events=wants_obs)
+                         collect_events=wants_obs,
+                         faults=faults)
     print(res.brief())
     print(f"  wall={res.sim_wall_s:.3f}s  events={res.events_processed:,}  "
           f"({res.events_per_sec:,.0f} events/s)")
+    if faults is not None:
+        injected = int(res.extra.get("faults_injected", 0))
+        counters = {k.split(".", 1)[1]: v["value"]
+                    for k, v in sorted(res.metrics.items())
+                    if k.startswith("kernel.fault_")}
+        detail = ", ".join(f"{k}={v}" for k, v in counters.items())
+        print(f"  faults[{args.faults}]: {injected} planned"
+              + (f" ({detail})" if detail else ""))
     if args.verbose and res.freq_dist is not None:
         for label, frac in res.freq_dist.as_dict().items():
             if frac >= 0.005:
@@ -148,11 +172,21 @@ def _cmd_obs(args) -> int:
         print(f"  {st.get('events', 0):,} engine events, "
               f"{st.get('events_per_sec', 0.0):,.0f} events/s, "
               f"{st.get('sim_wall_s', 0.0):.2f}s summed sim time")
+    if st.get("retried") or st.get("timeouts") or st.get("skipped") \
+            or st.get("recovered") or st.get("degraded"):
+        print(f"  hardening: {st.get('retried', 0)} retried, "
+              f"{st.get('timeouts', 0)} timeout(s), "
+              f"{st.get('recovered', 0)} recovered from checkpoint, "
+              f"{st.get('skipped', 0)} skipped"
+              + (", degraded to serial" if st.get("degraded") else ""))
+    if report.get("interrupted"):
+        print("  NOTE: sweep was interrupted; completed runs are "
+              "checkpointed and will be reused on the next run")
     runs = report.get("runs", [])
     slowest = sorted(runs, key=lambda r: -r.get("sim_wall_s", 0.0))
     for run in slowest[:args.top]:
-        src = "cache" if run.get("cached") else "sim  "
-        print(f"  {src} {run.get('sim_wall_s', 0.0):6.2f}s  "
+        src = run.get("outcome") or ("cache" if run.get("cached") else "sim")
+        print(f"  {src:10s} {run.get('sim_wall_s', 0.0):6.2f}s  "
               f"{run.get('events_processed', 0):>12,} ev  "
               f"{run.get('label', '?')}")
     return 0
@@ -162,7 +196,8 @@ def _cmd_compare(args) -> int:
     executor = _executor_from_args(args)
     cmp = compare(lambda: make_workload(args.workload, scale=args.scale),
                   get_machine(args.machine), combos=STANDARD_COMBOS,
-                  seeds=tuple(range(1, args.seeds + 1)), executor=executor)
+                  seeds=tuple(range(1, args.seeds + 1)), executor=executor,
+                  faults=_faults_from_args(args))
     rows = []
     for (sched, gov), stats in cmp.combos.items():
         rows.append([
@@ -189,10 +224,16 @@ def _cmd_sweep(args) -> int:
         print(f"error: {args.experiment} has no buildable workloads to sweep",
               file=sys.stderr)
         return 2
+    faults = _faults_from_args(args)
+    if faults is not None:
+        specs = [dataclasses.replace(s, faults=faults) for s in specs]
     executor = _executor_from_args(args)
     results = executor.run(specs)
-    for res in results:
-        print(res.brief())
+    for spec, res in zip(specs, results):
+        if res is None:
+            print(f"SKIPPED {spec.label} (failed after retries)")
+        else:
+            print(res.brief())
     print(executor.last_stats.summary())
     return 0
 
@@ -202,8 +243,22 @@ def _cmd_cache(args) -> int:
     cache = ResultCache(root)
     if args.action == "stats":
         st = cache.stats()
+        quarantined = (f", {st['quarantined']} quarantined"
+                       if st.get("quarantined") else "")
         print(f"cache at {st['root']}: {st['entries']} entries, "
-              f"{st['bytes'] / 1024:.1f} KiB")
+              f"{st['bytes'] / 1024:.1f} KiB{quarantined}")
+    elif args.action == "verify":
+        report = cache.verify(fix=not args.dry_run)
+        print(f"cache at {cache.root}: {report['checked']} entries checked, "
+              f"{report['corrupt']} corrupt")
+        for entry in report["entries"]:
+            dest = entry.get("quarantined_to")
+            where = f" -> {dest}" if dest else " (left in place)"
+            print(f"  corrupt: {entry['path']}{where}")
+            print(f"    {entry['error']}")
+        if report["corrupt"] and not args.dry_run:
+            print(f"quarantined entries are under {report['quarantine_dir']}")
+        return 1 if report["corrupt"] else 0
     else:  # clear
         n = cache.clear()
         print(f"cleared {n} cached result(s)")
@@ -232,6 +287,22 @@ def _add_sweep_options(p: argparse.ArgumentParser) -> None:
                         "$REPRO_CACHE_DIR or .repro-cache)")
     p.add_argument("--progress", action="store_true",
                    help="live per-run progress line on stderr")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="kill and retry the worker pool if no run completes "
+                        "for this long (default: wait forever)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="attempts per spec after crashes/timeouts "
+                        "(default: 2)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="skip specs that exhaust their retries instead of "
+                        "aborting the sweep")
+
+
+def _add_faults_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", default=None, metavar="PROFILE",
+                   choices=sorted(FAULT_PROFILES),
+                   help="inject seeded faults (profiles: "
+                        + ", ".join(sorted(FAULT_PROFILES)) + ")")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Perfetto/Chrome trace JSON here")
     run_p.add_argument("--events", default=None, metavar="PATH",
                        help="write the structured event log as JSONL here")
+    _add_faults_option(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     trace_p = sub.add_parser(
@@ -277,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--seeds", type=int, default=3)
     cmp_p.add_argument("--scale", type=float, default=1.0)
     _add_sweep_options(cmp_p)
+    _add_faults_option(cmp_p)
     cmp_p.set_defaults(fn=_cmd_compare)
 
     sweep_p = sub.add_parser("sweep",
@@ -287,11 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--machine", action="append",
                          help="restrict to these machine keys (repeatable)")
     _add_sweep_options(sweep_p)
+    _add_faults_option(sweep_p)
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     cache_p = sub.add_parser("cache", help="result-cache maintenance")
-    cache_p.add_argument("action", choices=["stats", "clear"])
+    cache_p.add_argument("action", choices=["stats", "verify", "clear"])
     cache_p.add_argument("--cache-dir", default=None)
+    cache_p.add_argument("--dry-run", action="store_true",
+                         help="verify: report corrupt entries without "
+                              "quarantining them")
     cache_p.set_defaults(fn=_cmd_cache)
 
     obs_p = sub.add_parser("obs", help="observability reports")

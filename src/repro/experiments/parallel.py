@@ -1,16 +1,28 @@
-"""Parallel sweep execution.
+"""Parallel sweep execution, hardened against worker failure.
 
 Every paper figure is a sweep of independent (workload × machine ×
 scheduler × governor × seed) simulations.  :class:`SweepExecutor` fans a
 list of picklable :class:`RunSpec`\\ s out over a ``ProcessPoolExecutor``
 and returns results in spec order, so a parallel sweep aggregates
 bit-identically to the serial loop: each simulation owns its engine and
-derives all randomness from its spec's seed, and ``pool.map`` preserves
-ordering regardless of completion order.
+derives all randomness from its spec's seed.
 
 An optional :class:`~repro.experiments.cache.ResultCache` short-circuits
 specs that were already simulated (by any previous process — the cache is
 on disk and content-addressed), so only misses reach the pool.
+
+The executor survives an imperfect world:
+
+* every completed run is **checkpointed** to the cache immediately, so an
+  interrupted sweep resumes from where it stopped;
+* a worker that dies (``BrokenProcessPool``) triggers a bounded number of
+  **retry rounds** with backoff; if the pool keeps dying the sweep
+  **degrades to serial** execution in the parent process;
+* with ``timeout_s`` set, a pool that produces no completion for that
+  long is presumed hung: it is killed and the outstanding specs retried;
+* ``KeyboardInterrupt`` flushes completed results, writes the sweep
+  report with ``interrupted: true`` and prints a partial summary before
+  re-raising.
 
 Worker count comes from, in order: the ``jobs`` argument, the
 ``$REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
@@ -18,19 +30,22 @@ Worker count comes from, in order: the ``jobs`` argument, the
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.params import NestParams
+from ..faults import FaultConfig
 from ..hw.machines import get_machine
 from ..kernel.scheduler_core import KernelConfig
 from ..metrics.summary import RunResult
 from ..workloads.catalog import make_workload
-from .cache import ResultCache
+from .cache import ResultCache, spec_key
 from .runner import run_experiment
 
 
@@ -64,6 +79,7 @@ class RunSpec:
     max_us: Optional[int] = None
     kernel_config: Optional[KernelConfig] = None
     record_trace: bool = False
+    faults: Optional[FaultConfig] = None
 
     @property
     def label(self) -> str:
@@ -73,6 +89,7 @@ class RunSpec:
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one spec to completion (this is the pool's worker function)."""
+    _chaos_hook(spec)
     workload = make_workload(spec.workload, scale=spec.scale)
     return run_experiment(
         workload,
@@ -84,7 +101,42 @@ def execute_spec(spec: RunSpec) -> RunResult:
         record_trace=spec.record_trace,
         max_us=spec.max_us,
         kernel_config=spec.kernel_config,
+        faults=spec.faults,
     )
+
+
+def _chaos_hook(spec: RunSpec) -> None:
+    """Test/CI hook that faults the *worker process* itself.
+
+    Active only when both ``$REPRO_CHAOS`` (comma list of modes:
+    ``crash-once``, ``hang-once``) and ``$REPRO_CHAOS_DIR`` (a directory
+    for one-shot sentinel files) are set, and only inside a pool worker —
+    never in the parent, so the serial fallback cannot take itself down.
+    Each spec is assigned one mode by its content hash and faulted exactly
+    once; the retry then runs clean.  This is how the CI chaos job proves
+    the executor's crash/hang recovery end to end.
+    """
+    modes = [m.strip() for m in os.environ.get("REPRO_CHAOS", "").split(",")
+             if m.strip()]
+    root = os.environ.get("REPRO_CHAOS_DIR", "")
+    if not modes or not root:
+        return
+    if multiprocessing.parent_process() is None:
+        return    # parent process: chaos applies to pool workers only
+    key = spec_key(spec)
+    mode = modes[int(key[:8], 16) % len(modes)]
+    sentinel = os.path.join(root, f"{key}.tripped")
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return    # this spec already took its fault — run normally
+    except OSError:
+        return
+    os.close(fd)
+    if mode == "crash-once":
+        os._exit(23)
+    if mode == "hang-once":
+        time.sleep(600)
 
 
 @dataclass
@@ -100,6 +152,13 @@ class SweepStats:
     wall_s: float = 0.0
     events: int = 0
     sim_wall_s: float = 0.0        # summed per-simulation wall time
+    retried: int = 0               # specs that needed more than one attempt
+    timeouts: int = 0              # pool stalls that killed the pool
+    recovered: int = 0             # cache hits checkpointed by an
+    #                                interrupted previous sweep
+    skipped: int = 0               # specs abandoned after retries
+    degraded: bool = False         # pool kept dying; finished serially
+    interrupted: bool = False      # KeyboardInterrupt cut the sweep short
 
     @property
     def events_per_sec(self) -> float:
@@ -118,6 +177,21 @@ class SweepStats:
         if self.cache_used:
             parts.append(f"cache: {self.cache_hits} hit(s), "
                          f"{self.cache_misses} miss(es)")
+        bits = []
+        if self.retried:
+            bits.append(f"{self.retried} retried")
+        if self.timeouts:
+            bits.append(f"{self.timeouts} timeout(s)")
+        if self.recovered:
+            bits.append(f"{self.recovered} recovered from checkpoint")
+        if self.skipped:
+            bits.append(f"{self.skipped} skipped")
+        if self.degraded:
+            bits.append("degraded to serial")
+        if bits:
+            parts.append("hardening: " + ", ".join(bits))
+        if self.interrupted:
+            parts.append("INTERRUPTED (completed runs checkpointed)")
         return " — ".join(parts)
 
     def as_dict(self) -> dict:
@@ -128,6 +202,9 @@ class SweepStats:
             "wall_s": self.wall_s, "events": self.events,
             "sim_wall_s": self.sim_wall_s,
             "events_per_sec": self.events_per_sec,
+            "retried": self.retried, "timeouts": self.timeouts,
+            "recovered": self.recovered, "skipped": self.skipped,
+            "degraded": self.degraded, "interrupted": self.interrupted,
         }
 
 
@@ -146,30 +223,80 @@ def stderr_progress(done: int, total: int, spec: RunSpec,
     sys.stderr.flush()
 
 
+class SweepFailure(RuntimeError):
+    """A spec exhausted its retry budget (and ``skip_failures`` is off)."""
+
+
+class _SweepState:
+    """Mutable bookkeeping of one run() invocation."""
+
+    __slots__ = ("attempts", "retried", "timeouts", "skipped", "degraded",
+                 "pool_breaks", "completed", "events", "sim_wall",
+                 "max_workers")
+
+    def __init__(self) -> None:
+        self.attempts: Dict[int, int] = {}   # index -> failed attempts
+        self.retried: Set[int] = set()
+        self.timeouts = 0
+        self.skipped: Dict[int, str] = {}    # index -> error description
+        self.degraded = False
+        self.pool_breaks = 0
+        self.completed: Set[int] = set()
+        self.events = 0
+        self.sim_wall = 0.0
+        self.max_workers = 0
+
+
 class SweepExecutor:
-    """Runs RunSpecs, in parallel, with optional result caching.
+    """Runs RunSpecs, in parallel, with caching, retries and timeouts.
 
     Results come back in spec order whatever the completion order, and a
     single-worker executor produces byte-identical results to calling
     :func:`execute_spec` in a loop — determinism is per-spec, not
     per-schedule.
+
+    ``timeout_s`` bounds how long the pool may go without completing any
+    run before it is presumed hung and killed.  ``retries`` bounds the
+    attempts per spec (and the pool-restart rounds before degrading to
+    serial).  ``skip_failures`` turns an exhausted retry budget into a
+    skipped entry instead of an exception.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 2,
+                 backoff_s: float = 0.05,
+                 skip_failures: bool = False) -> None:
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.cache = cache
         self.progress = progress
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = max(0.0, backoff_s)
+        self.skip_failures = skip_failures
         self.last_stats = SweepStats()
+        self._done = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
 
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute every spec; returns results in the order of ``specs``."""
-        t0 = time.perf_counter()
-        results: List[Optional[RunResult]] = [None] * len(specs)
-        progress = self.progress
-        done = 0
+        """Execute every spec; returns results in the order of ``specs``.
 
+        With ``skip_failures`` the returned list can hold ``None`` at the
+        positions of abandoned specs; otherwise it is always complete.
+        """
+        t0 = time.perf_counter()
+        specs = list(specs)
+        n = len(specs)
+        results: List[Optional[RunResult]] = [None] * n
+        self._done = 0
+        self._total = n
+
+        checkpoint_labels = self._checkpoint_labels()
+        recovered = 0
         misses: List[int] = []
         hits = 0
         if self.cache is not None:
@@ -178,81 +305,272 @@ class SweepExecutor:
                 if cached is not None:
                     results[i] = cached
                     hits += 1
+                    if spec.label in checkpoint_labels:
+                        recovered += 1
                 else:
                     misses.append(i)
         else:
-            misses = list(range(len(specs)))
-        if progress is not None:
+            misses = list(range(n))
+        if self.progress is not None:
             for i, res in enumerate(results):
                 if res is not None:
-                    done += 1
-                    progress(done, len(specs), specs[i], res, True)
+                    self._done += 1
+                    self.progress(self._done, n, specs[i], res, True)
 
-        workers = min(self.jobs, len(misses)) if misses else 0
-        if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                if progress is None:
-                    fresh = pool.map(execute_spec, [specs[i] for i in misses])
-                    for i, res in zip(misses, fresh):
+        state = _SweepState()
+        try:
+            self._execute(specs, misses, results, state)
+        except KeyboardInterrupt:
+            self._finalize(specs, results, misses, hits, recovered, state,
+                           t0, checkpoint_labels, interrupted=True)
+            sys.stderr.write("\nsweep interrupted — "
+                             + self.last_stats.summary() + "\n")
+            sys.stderr.flush()
+            raise
+        self._finalize(specs, results, misses, hits, recovered, state, t0,
+                       checkpoint_labels, interrupted=False)
+        if not state.skipped:
+            assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Execution rounds
+    # ------------------------------------------------------------------
+
+    def _execute(self, specs: List[RunSpec], misses: List[int],
+                 results: List[Optional[RunResult]],
+                 state: _SweepState) -> None:
+        todo = list(misses)
+        round_no = 0
+        while todo:
+            if round_no > 0 and self.backoff_s > 0:
+                time.sleep(min(self.backoff_s * (2 ** min(round_no - 1, 6)),
+                               2.0))
+            round_no += 1
+            workers = min(self.jobs, len(todo))
+            if workers <= 1 or state.degraded:
+                state.max_workers = max(state.max_workers, 1)
+                todo = self._serial_round(specs, todo, results, state)
+            else:
+                state.max_workers = max(state.max_workers, workers)
+                todo = self._pool_round(specs, todo, results, state, workers)
+
+    def _serial_round(self, specs: List[RunSpec], todo: List[int],
+                      results: List[Optional[RunResult]],
+                      state: _SweepState) -> List[int]:
+        retry: List[int] = []
+        for i in todo:
+            try:
+                res = execute_spec(specs[i])
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                state.attempts[i] = state.attempts.get(i, 0) + 1
+                retry.extend(self._triage([i], specs, state, repr(exc)))
+                continue
+            results[i] = res
+            self._complete(specs, i, res, state)
+        return retry
+
+    def _pool_round(self, specs: List[RunSpec], todo: List[int],
+                    results: List[Optional[RunResult]], state: _SweepState,
+                    workers: int) -> List[int]:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {pool.submit(execute_spec, specs[i]): i for i in todo}
+            pending = set(futures)
+            retry: List[int] = []
+            while pending:
+                finished, pending = wait(pending, timeout=self.timeout_s,
+                                         return_when=FIRST_COMPLETED)
+                if not finished:
+                    # No completion within timeout_s: the pool is presumed
+                    # hung.  Kill it; outstanding specs are charged one
+                    # attempt and retried in a fresh round.
+                    state.timeouts += 1
+                    hung = [futures[f] for f in pending]
+                    for i in hung:
+                        state.attempts[i] = state.attempts.get(i, 0) + 1
+                    self._kill_pool(pool)
+                    retry.extend(self._triage(hung, specs, state,
+                                              "timed out"))
+                    return retry
+                broken = False
+                for fut in finished:
+                    i = futures[fut]
+                    try:
+                        res = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except Exception as exc:
+                        state.attempts[i] = state.attempts.get(i, 0) + 1
+                        retry.extend(self._triage([i], specs, state,
+                                                  repr(exc)))
+                    else:
                         results[i] = res
-                else:
-                    # submit + wait so the progress line moves as runs
-                    # complete; the index map keeps results in spec order,
-                    # so output is identical to the map() path.
-                    futures = {pool.submit(execute_spec, specs[i]): i
-                               for i in misses}
-                    pending = set(futures)
-                    while pending:
-                        finished, pending = wait(
-                            pending, return_when=FIRST_COMPLETED)
-                        for fut in finished:
-                            i = futures[fut]
-                            results[i] = fut.result()
-                            done += 1
-                            progress(done, len(specs), specs[i],
-                                     results[i], False)
-        else:
-            for i in misses:
-                results[i] = execute_spec(specs[i])
-                if progress is not None:
-                    done += 1
-                    progress(done, len(specs), specs[i], results[i], False)
+                        self._complete(specs, i, res, state)
+                if broken:
+                    # A worker died (crash, OOM-kill, ...) and took the
+                    # whole pool with it.  Everything unfinished goes into
+                    # the next round; if pools keep dying, degrade to
+                    # serial execution in this process.
+                    state.pool_breaks += 1
+                    if state.pool_breaks > self.retries:
+                        state.degraded = True
+                    self._kill_pool(pool)
+                    unfinished = sorted(
+                        i for i in todo
+                        if i not in state.completed
+                        and i not in state.skipped and i not in retry)
+                    state.retried.update(unfinished)
+                    return retry + unfinished
+            pool.shutdown()
+            return retry
+        except BaseException:
+            self._kill_pool(pool)
+            raise
 
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a (possibly hung) pool down without waiting for it.
+
+        The worker handles must be snapshotted *before* ``shutdown`` —
+        it drops the executor's ``_processes`` reference — or a hung
+        worker survives, and the pool's non-daemon management thread
+        waits on it forever, wedging interpreter exit.
+        """
+        procs = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=False, cancel_futures=True)
+        for p in procs.values():
+            try:
+                p.terminate()
+            except Exception:
+                pass
+        for p in procs.values():
+            try:
+                p.join(timeout=1.0)
+            except Exception:
+                pass
+
+    def _triage(self, indices: Sequence[int], specs: List[RunSpec],
+                state: _SweepState, error: str) -> List[int]:
+        """Decide, per failed spec, between retry / skip / raise."""
+        retry: List[int] = []
+        for i in sorted(indices):
+            if state.attempts.get(i, 0) <= self.retries:
+                state.retried.add(i)
+                retry.append(i)
+            elif self.skip_failures:
+                state.skipped[i] = error
+            else:
+                raise SweepFailure(
+                    f"{specs[i].label} failed after "
+                    f"{state.attempts[i]} attempt(s): {error}")
+        return retry
+
+    def _complete(self, specs: List[RunSpec], i: int, res: RunResult,
+                  state: _SweepState) -> None:
+        """Bookkeeping + immediate checkpoint for one finished run."""
+        state.completed.add(i)
+        state.events += res.events_processed
+        state.sim_wall += res.sim_wall_s
         if self.cache is not None:
-            for i in misses:
-                self.cache.put_spec(specs[i], results[i])
+            try:
+                self.cache.put_spec(specs[i], res)
+            except OSError:
+                pass   # a read-only cache dir must not kill the sweep
+        self._done += 1
+        if self.progress is not None:
+            self.progress(self._done, self._total, specs[i], res, False)
 
-        out = [r for r in results if r is not None]
-        assert len(out) == len(specs)
+    # ------------------------------------------------------------------
+    # Reporting / resume
+    # ------------------------------------------------------------------
+
+    def _checkpoint_labels(self) -> frozenset:
+        """Labels completed by a previous *interrupted* sweep; their cache
+        hits count as recovered-from-checkpoint in this sweep's report."""
+        if self.cache is None:
+            return frozenset()
+        try:
+            prev = self.cache.read_report("last-sweep")
+        except Exception:
+            return frozenset()
+        if not prev or not prev.get("interrupted"):
+            return frozenset()
+        return frozenset(r.get("label") for r in prev.get("runs", ())
+                         if r.get("completed"))
+
+    def _finalize(self, specs: List[RunSpec],
+                  results: List[Optional[RunResult]], misses: List[int],
+                  hits: int, recovered: int, state: _SweepState, t0: float,
+                  checkpoint_labels: frozenset, interrupted: bool) -> None:
         self.last_stats = SweepStats(
             n_specs=len(specs),
-            simulated=len(misses),
+            simulated=len(state.completed),
             cache_hits=hits,
             cache_misses=len(misses) if self.cache is not None else 0,
             cache_used=self.cache is not None,
-            workers=max(workers, 1) if misses else 0,
+            workers=max(state.max_workers, 1) if misses else 0,
             wall_s=time.perf_counter() - t0,
-            events=sum(out[i].events_processed for i in misses),
-            sim_wall_s=sum(out[i].sim_wall_s for i in misses),
+            events=state.events,
+            sim_wall_s=state.sim_wall,
+            retried=len(state.retried),
+            timeouts=state.timeouts,
+            recovered=recovered,
+            skipped=len(state.skipped),
+            degraded=state.degraded,
+            interrupted=interrupted,
         )
-        self._write_report(specs, out, set(misses))
-        return out
+        self._write_report(specs, results, misses, state,
+                           checkpoint_labels, interrupted)
 
-    def _write_report(self, specs: Sequence[RunSpec],
-                      results: Sequence[RunResult], missed: set) -> None:
-        """Persist the sweep's observability report (``repro obs report``)."""
+    def _write_report(self, specs: List[RunSpec],
+                      results: List[Optional[RunResult]], misses: List[int],
+                      state: _SweepState, checkpoint_labels: frozenset,
+                      interrupted: bool) -> None:
+        """Persist the sweep's observability report (``repro obs report``).
+
+        Each run records an ``outcome``: ``cached`` / ``checkpoint`` (a hit
+        written by a previous interrupted sweep) / ``simulated`` /
+        ``retried`` (simulated, needed >1 attempt) / ``skipped`` /
+        ``pending`` (never ran — the sweep was interrupted first).
+        """
         if self.cache is None:
             return
-        runs = [{
-            "label": spec.label,
-            "cached": i not in missed,
-            "sim_wall_s": res.sim_wall_s,
-            "events_processed": res.events_processed,
-            "makespan_us": res.makespan_us,
-        } for i, (spec, res) in enumerate(zip(specs, results))]
+        missset = set(misses)
+        runs = []
+        for i, spec in enumerate(specs):
+            res = results[i]
+            if i not in missset:
+                outcome = ("checkpoint" if spec.label in checkpoint_labels
+                           else "cached")
+            elif i in state.skipped:
+                outcome = "skipped"
+            elif res is None:
+                outcome = "pending"
+            elif i in state.retried:
+                outcome = "retried"
+            else:
+                outcome = "simulated"
+            entry = {
+                "label": spec.label,
+                "outcome": outcome,
+                "cached": i not in missset,
+                "completed": res is not None,
+            }
+            if res is not None:
+                entry["sim_wall_s"] = res.sim_wall_s
+                entry["events_processed"] = res.events_processed
+                entry["makespan_us"] = res.makespan_us
+            if i in state.skipped:
+                entry["error"] = state.skipped[i]
+            runs.append(entry)
         try:
             self.cache.write_report("last-sweep", {
                 "stats": self.last_stats.as_dict(),
+                "interrupted": interrupted,
                 "runs": runs,
             })
         except OSError:

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from ..core.nest import NestPolicy
 from ..core.params import DEFAULT_PARAMS, NestParams
+from ..faults import FaultConfig, FaultInjector, FaultPlan
 from ..governors.base import Governor
 from ..governors.performance import PerformanceGovernor
 from ..governors.schedutil import SchedutilGovernor
@@ -80,12 +81,18 @@ def run_experiment(
     max_us: Optional[int] = None,
     kernel_config: Optional[KernelConfig] = None,
     collect_events: bool = False,
+    faults: Optional[FaultConfig] = None,
 ) -> RunResult:
     """Run one simulation to completion and collect its measurements.
 
     ``collect_events=True`` attaches a memory sink to the engine's
     structured event log; the events ride on the result as
     ``result.events`` (transient — not cached, like trace segments).
+
+    ``faults`` enables the chaos subsystem (see :mod:`repro.faults`): the
+    config expands into a deterministic fault plan drawn from the run's
+    own seeded RNG streams, so the faulted run is exactly as reproducible
+    as a clean one.
     """
     wall_start = time.perf_counter()
     engine = Engine(seed)
@@ -101,6 +108,14 @@ def run_experiment(
     kernel.runnable_observers.append(under.runnable_sink)
     fdist = FreqDistribution(machine)
     tracer.add_sink(fdist.segment_sink)
+
+    injector: Optional[FaultInjector] = None
+    if faults is not None and faults.enabled:
+        plan = FaultPlan.generate(
+            faults, machine.n_cpus, machine.topology.n_physical_cores,
+            machine.nominal_mhz, machine.min_mhz, engine.rng)
+        injector = FaultInjector(kernel, plan, faults)
+        injector.install()
 
     workload.start(kernel)
     end = kernel.run_until_idle(max_us)
@@ -131,6 +146,8 @@ def run_experiment(
         sim_wall_s=time.perf_counter() - wall_start,
         events_processed=engine.events_processed,
     )
+    if injector is not None:
+        result.extra["faults_injected"] = float(len(injector.plan))
     if record_trace:
         result.extra["n_segments"] = float(len(tracer.segments))
         result.trace_segments = tracer.segments  # type: ignore[attr-defined]
@@ -210,6 +227,7 @@ def compare(
     max_us: Optional[int] = None,
     kernel_config: Optional[KernelConfig] = None,
     executor: Optional["SweepExecutor"] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> Comparison:
     """Run every combo over every seed; the paper's Figure 5-13 procedure.
 
@@ -224,7 +242,7 @@ def compare(
     wl_name: Optional[str] = None
     if executor is not None:
         specs = _sweep_specs(workload_factory, machine, combos, seeds,
-                             nest_params, max_us, kernel_config)
+                             nest_params, max_us, kernel_config, faults)
         if specs is not None:
             results = executor.run(specs)
             wl_name = specs[0].workload
@@ -242,7 +260,8 @@ def compare(
                 wl_name = wl.name
                 res = run_experiment(wl, machine, scheduler, governor, seed,
                                      nest_params=nest_params, max_us=max_us,
-                                     kernel_config=kernel_config)
+                                     kernel_config=kernel_config,
+                                     faults=faults)
             cs.makespans_us.append(res.makespan_us)
             cs.energies_j.append(res.energy_joules)
             cs.underload_per_s.append(res.underload.underload_per_second)
@@ -260,6 +279,7 @@ def _sweep_specs(
     nest_params: Optional[NestParams],
     max_us: Optional[int],
     kernel_config: Optional[KernelConfig],
+    faults: Optional[FaultConfig] = None,
 ) -> Optional[List["RunSpec"]]:
     """Express a compare() sweep as RunSpecs, or None if it cannot be."""
     from ..hw.machines import machine_key
@@ -276,6 +296,6 @@ def _sweep_specs(
     return [RunSpec(workload=probe.name, machine=mk, scheduler=scheduler,
                     governor=governor, seed=seed, scale=scale,
                     nest_params=nest_params, max_us=max_us,
-                    kernel_config=kernel_config)
+                    kernel_config=kernel_config, faults=faults)
             for scheduler, governor in combos
             for seed in seeds]

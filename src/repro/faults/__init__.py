@@ -1,0 +1,34 @@
+"""Seeded fault injection ("chaos") for simulated runs.
+
+The paper's model assumes a stable machine: cores never disappear,
+frequencies follow the turbo model, every run completes.  This package
+drops that assumption *deterministically*: a :class:`FaultConfig` plus the
+run's seed derive a :class:`FaultPlan` (the exact times, targets and
+parameters of every fault) from the simulation's named RNG streams, and a
+:class:`FaultInjector` replays the plan through the engine's event queue.
+The same seed and the same config therefore always produce a bit-identical
+:class:`~repro.metrics.summary.RunResult` — chaos you can put in a result
+cache and diff.
+
+Fault families (see DESIGN.md, "Fault model"):
+
+* **Core hotplug** — a hardware thread goes offline for a while: its
+  runqueue is drained, the running task is migrated, the Nest policy
+  repairs its nests (offline eviction, attachment scrubbing).
+* **Thermal capping** — a physical core's frequency is clamped below the
+  turbo model's ceiling for a while, as firmware does under thermal
+  pressure.
+* **Timer-tick jitter** — scheduler ticks fire early or late by a bounded,
+  seeded offset, perturbing preemption and tick-driven governors.
+* **Stragglers** — a running task's remaining work is inflated by a
+  factor, modelling interference invisible to the scheduler.
+"""
+
+from .plan import (FAULT_PROFILES, FaultConfig, FaultPlan, FaultSpec,
+                   fault_profile)
+from .injector import FaultInjector
+
+__all__ = [
+    "FAULT_PROFILES", "FaultConfig", "FaultPlan", "FaultSpec",
+    "FaultInjector", "fault_profile",
+]

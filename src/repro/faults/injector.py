@@ -1,0 +1,139 @@
+"""Replays a :class:`~repro.faults.plan.FaultPlan` against a kernel.
+
+The injector is the only piece of the chaos subsystem with side effects:
+it schedules one engine event per planned fault (priority class CONTROL,
+so faults at time *t* apply after the scheduler's own work at *t*) and
+translates each :class:`FaultSpec` into the matching kernel / frequency
+model operation.  Guard rails keep plans safe on any machine: a hotplug
+fault never takes the online cpu count below ``min_online_cpus``, and a
+straggler targeting an idle cpu is skipped rather than retargeted (both
+are counted, so a run reports what was skipped).
+
+All bookkeeping lands in the kernel's metrics registry under ``fault_*``
+and in the structured event log under ``fault.*``, so faulted runs are
+observable through the existing obs pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..obs import events as oev
+from ..sim.events import EventKind
+from .plan import (KIND_CPU_OFFLINE, KIND_STRAGGLER, KIND_THERMAL_CAP,
+                   FaultConfig, FaultPlan, FaultSpec)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernel.scheduler_core import Kernel
+
+
+class FaultInjector:
+    """Binds a fault plan to one kernel and schedules its application."""
+
+    def __init__(self, kernel: "Kernel", plan: FaultPlan,
+                 config: FaultConfig) -> None:
+        self.kernel = kernel
+        self.plan = plan
+        self.config = config
+        m = kernel.metrics
+        self._c_offline = m.counter("fault_cpu_offline")
+        self._c_online = m.counter("fault_cpu_online")
+        self._c_offline_skipped = m.counter("fault_offline_skipped")
+        self._c_thermal = m.counter("fault_thermal_caps")
+        self._c_straggler = m.counter("fault_stragglers")
+        self._c_straggler_skipped = m.counter("fault_straggler_skipped")
+        #: Generation counter per physical core so an overlapping thermal
+        #: cap extends rather than truncates (a stale clear is a no-op).
+        self._thermal_gen = [0] * kernel.topology.n_physical_cores
+
+    # ------------------------------------------------------------------
+
+    def install(self) -> int:
+        """Schedule every planned fault; returns how many were scheduled."""
+        engine = self.kernel.engine
+        for spec in self.plan.specs:
+            engine.at(spec.at_us, EventKind.CONTROL, self._apply, (spec,))
+        if self.plan.tick_jitter_us > 0:
+            self._arm_tick_jitter()
+        return len(self.plan.specs)
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, spec: FaultSpec) -> None:
+        if spec.kind == KIND_CPU_OFFLINE:
+            self._apply_hotplug(spec)
+        elif spec.kind == KIND_THERMAL_CAP:
+            self._apply_thermal(spec)
+        elif spec.kind == KIND_STRAGGLER:
+            self._apply_straggler(spec)
+        else:  # pragma: no cover - plan generation owns the vocabulary
+            raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+    def _apply_hotplug(self, spec: FaultSpec) -> None:
+        kernel = self.kernel
+        cpu = spec.target
+        online = sum(kernel.cpu_online)
+        if not kernel.cpu_online[cpu] \
+                or online <= self.config.min_online_cpus:
+            self._c_offline_skipped.value += 1
+            return
+        self._c_offline.value += 1
+        kernel.set_cpu_offline(cpu)
+        kernel.engine.after(max(1, spec.duration_us), EventKind.CONTROL,
+                            self._bring_online, (cpu,))
+
+    def _bring_online(self, cpu: int) -> None:
+        if not self.kernel.cpu_online[cpu]:
+            self._c_online.value += 1
+            self.kernel.set_cpu_online(cpu)
+
+    def _apply_thermal(self, spec: FaultSpec) -> None:
+        kernel = self.kernel
+        pc = spec.target
+        self._c_thermal.value += 1
+        self._thermal_gen[pc] += 1
+        kernel.freq.set_thermal_cap(pc, spec.value)
+        if kernel.obs.enabled:
+            kernel.obs.emit(kernel.engine.now, oev.FAULT_THERMAL_CAP,
+                            cpu=pc, value=spec.value)
+        kernel.engine.after(max(1, spec.duration_us), EventKind.CONTROL,
+                            self._clear_thermal, (pc, self._thermal_gen[pc]))
+
+    def _clear_thermal(self, pc: int, gen: int) -> None:
+        if self._thermal_gen[pc] != gen:
+            return    # a newer cap superseded this one
+        kernel = self.kernel
+        kernel.freq.set_thermal_cap(pc, None)
+        if kernel.obs.enabled:
+            kernel.obs.emit(kernel.engine.now, oev.FAULT_THERMAL_CLEAR,
+                            cpu=pc)
+
+    def _apply_straggler(self, spec: FaultSpec) -> None:
+        kernel = self.kernel
+        factor = spec.value / 100.0
+        if kernel.slow_running_task(spec.target, factor):
+            self._c_straggler.value += 1
+            if kernel.obs.enabled:
+                kernel.obs.emit(kernel.engine.now, oev.FAULT_STRAGGLER,
+                                cpu=spec.target,
+                                task=kernel.cpus[spec.target].current.tid,
+                                value=spec.value)
+        else:
+            self._c_straggler_skipped.value += 1
+
+    # ------------------------------------------------------------------
+
+    def _arm_tick_jitter(self) -> None:
+        kernel = self.kernel
+        jitter = self.plan.tick_jitter_us
+        rng = kernel.engine.rng.stream(self.plan.jitter_seed_name)
+        # Keep perturbed periods strictly positive whatever the config.
+        from ..sim.clock import TICK_US
+        lo = -min(jitter, TICK_US - 1)
+
+        def draw() -> int:
+            return rng.randint(lo, jitter)
+
+        kernel.tick_jitter = draw
+        if kernel.obs.enabled:
+            kernel.obs.emit(0, oev.FAULT_JITTER_ON, value=jitter)

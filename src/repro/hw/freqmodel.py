@@ -192,6 +192,11 @@ class FreqModel:
         else:
             cap = turbo.nominal_mhz
         self._presustain_cap_mhz = max(cap, turbo.nominal_mhz)
+        #: Thermal caps injected by faults/ (None = uncapped).  A cap
+        #: clamps the target below everything else the model computes,
+        #: like a firmware thermal limit.
+        self._thermal_cap: List[Optional[int]] = \
+            [None] * topology.n_physical_cores
 
     # ---- public queries -----------------------------------------------
 
@@ -268,6 +273,9 @@ class FreqModel:
             else:
                 jump = max(self.governor.floor_mhz(t)
                            for t in self._siblings_of_pc[pc])
+                cap = self._thermal_cap[pc]
+                if cap is not None and jump > cap:
+                    jump = cap
             if st.mhz < jump:
                 st.mhz = jump
                 for fn in self._listeners:
@@ -290,6 +298,28 @@ class FreqModel:
     def notify_request_change(self, cpu: int) -> None:
         """Governor request for ``cpu`` may have changed; re-evaluate."""
         self._reevaluate(self._pc_of[cpu])
+
+    def set_thermal_cap(self, physical_core: int,
+                        mhz: Optional[int]) -> None:
+        """Clamp (or, with ``None``, unclamp) a core below ``mhz``.
+
+        Installed by the fault injector.  Like a firmware thermal limit the
+        clamp-down is immediate — running tasks are re-priced through the
+        listener — while recovery after the cap lifts follows the normal
+        ramp intervals.
+        """
+        if mhz is not None:
+            mhz = max(int(mhz), self._min_mhz)
+        self._thermal_cap[physical_core] = mhz
+        st = self._cores[physical_core]
+        if mhz is not None and st.mhz > mhz:
+            st.mhz = mhz
+            for fn in self._listeners:
+                fn(physical_core, mhz)
+        self._reevaluate(physical_core)
+
+    def thermal_cap(self, physical_core: int) -> Optional[int]:
+        return self._thermal_cap[physical_core]
 
     # ---- target computation and ramping -----------------------------------
 
@@ -328,7 +358,11 @@ class FreqModel:
         # (Nest's warm-core mechanism, §3.2).
         if st.spinning_threads > 0 and st.active_threads == 0:
             target = min(ceiling, max(target, st.mhz))
-        return max(target, self._min_mhz)
+        target = max(target, self._min_mhz)
+        cap = self._thermal_cap[pc]
+        if cap is not None and target > cap:
+            target = cap
+        return target
 
     def _reevaluate_socket(self, socket: int) -> None:
         """Re-price every core of a socket after its active count changed.

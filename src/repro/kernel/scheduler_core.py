@@ -144,6 +144,14 @@ class Kernel:
         self.n_runnable = 0           # RUNNABLE + RUNNING
         self.stop_when_idle = True
 
+        #: Hotplug state (faults/): placements, idle searches and balancing
+        #: all skip offline hardware threads.  Fault metrics counters are
+        #: created lazily so clean runs keep a bit-identical metrics dict.
+        self.cpu_online: List[bool] = [True] * n
+        #: Optional seeded tick perturbation installed by the fault
+        #: injector: a callable returning a per-tick offset in µs.
+        self.tick_jitter: Optional[Callable[[], int]] = None
+
         #: Observers notified on runnable-count changes: fn(now, count).
         self.runnable_observers: List[Callable[[int, int], None]] = []
 
@@ -185,14 +193,125 @@ class Kernel:
 
     def cpu_is_idle(self, cpu: int) -> bool:
         """No task running or queued (a spinning idle loop still counts
-        as idle for placement purposes)."""
-        return self.cpus[cpu].current is None and self.rqs[cpu].nr_queued == 0
+        as idle for placement purposes).  An offline cpu is never idle:
+        it cannot accept work."""
+        return (self.cpu_online[cpu]
+                and self.cpus[cpu].current is None
+                and self.rqs[cpu].nr_queued == 0)
 
     def cpu_last_used(self, cpu: int) -> int:
         """Time the cpu last ran a task (now, if currently busy)."""
         if self.cpus[cpu].current is not None:
             return self.engine.now
         return self.rqs[cpu].last_busy_us
+
+    # ------------------------------------------------------------------
+    # Hotplug and straggler faults (driven by faults.FaultInjector)
+    # ------------------------------------------------------------------
+
+    def least_loaded_online(self, near: int) -> int:
+        """Deterministic fallback target: the least loaded online cpu,
+        preferring the die of ``near`` (ties break towards low cpu ids)."""
+        for span in (self.domains.die_span(near), range(self.topology.n_cpus)):
+            best, best_key = None, None
+            for c in span:
+                if not self.cpu_online[c]:
+                    continue
+                key = (self.nr_running(c), c)
+                if best_key is None or key < best_key:
+                    best, best_key = c, key
+            if best is not None:
+                return best
+        raise SimulationError("no online cpus left")
+
+    def set_cpu_offline(self, cpu: int) -> None:
+        """Hotplug ``cpu`` out: drain its runqueue, migrate the running
+        task, scrub attachment history and let the policy repair itself.
+
+        Mirrors the shape of Linux's ``sched_cpu_deactivate``: the cpu
+        stops being a placement target first, then its tasks are pushed
+        away.  Orphans are re-placed through the policy (so Nest routes
+        them through its nest search and its counters stay consistent) or,
+        if the policy abstains, onto the least loaded online cpu.
+        """
+        if not self.cpu_online[cpu]:
+            return
+        if sum(self.cpu_online) <= 1:
+            raise SimulationError("cannot offline the last online cpu")
+        now = self.engine.now
+        self.cpu_online[cpu] = False
+        cs = self.cpus[cpu]
+        if cs.spinning:
+            self._stop_spin(cpu)
+        self._stop_tick(cpu)
+
+        orphans: List[Task] = []
+        curr = cs.current
+        if curr is not None:
+            self._stop_running(cpu, curr)
+            curr.state = TaskState.RUNNABLE
+            curr.enqueued_us = now
+            orphans.append(curr)
+        rq = self.rqs[cpu]
+        while True:
+            task = rq.pop()
+            if task is None:
+                break
+            orphans.append(task)
+
+        # Forget the dead cpu in every live task's attachment history so
+        # orphaned (and merely attached) tasks re-attach to wherever they
+        # land next rather than chasing a vanished core (§3.3 under faults).
+        for task in self.tasks.values():
+            if task.alive:
+                hist = task.core_history
+                for slot in range(len(hist)):
+                    if hist[slot] == cpu:
+                        hist[slot] = None
+
+        self.policy.on_cpu_offline(cpu)
+        if self.obs.enabled:
+            self.obs.emit(now, oev.FAULT_CPU_OFFLINE, cpu=cpu,
+                          value=len(orphans))
+        if orphans:
+            c_orphans = self.metrics.counter("fault_orphan_migrations")
+            for task in orphans:
+                dst = self.policy.select_cpu_offline_migration(task, cpu)
+                if dst is None or not self.cpu_online[dst]:
+                    dst = self.least_loaded_online(cpu)
+                c_orphans.value += 1
+                self._migrate_queued(task, cpu, dst)
+
+    def set_cpu_online(self, cpu: int) -> None:
+        """Bring a hotplugged cpu back.  It returns cold: its runqueue's
+        ``last_busy_us`` is untouched, so the deep-idle wake cost applies
+        to the first task placed there."""
+        if self.cpu_online[cpu]:
+            return
+        self.cpu_online[cpu] = True
+        self.policy.on_cpu_online(cpu)
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, oev.FAULT_CPU_ONLINE, cpu=cpu)
+
+    def slow_running_task(self, cpu: int, factor: float) -> bool:
+        """Straggler fault: inflate the remaining work of the task running
+        on ``cpu`` by ``factor``.  Returns False (nothing to slow) if the
+        cpu has no priced compute slice in flight."""
+        task = self.cpus[cpu].current
+        if task is None or task.completion_event is None or factor <= 1.0:
+            return False
+        now = self.engine.now
+        # Bank what has already executed at the old pace, then stretch
+        # only the unexecuted remainder.
+        elapsed = now - task.run_start_us
+        consumed = elapsed * task.run_freq_mhz
+        executed = min(task.remaining_cycles, consumed)
+        task.remaining_cycles -= executed
+        task.total_cycles += executed
+        task.remaining_cycles *= factor
+        self.engine.cancel(task.completion_event)
+        self._price_completion(cpu, task)
+        return True
 
     # ------------------------------------------------------------------
     # Task creation / fork
@@ -220,6 +339,11 @@ class Kernel:
 
     def _commit_placement(self, task: Task, cpu: int, kind: EventKind) -> None:
         """Two-step placement: mark pending, enqueue after a small delay."""
+        if not self.cpu_online[cpu]:
+            # The policy proposed a dead cpu (e.g. a stale fallback hint
+            # while a hotplug fault is in flight): redirect deterministically.
+            cpu = self.least_loaded_online(cpu)
+            self.metrics.counter("fault_placement_redirects").value += 1
         rq = self.rqs[cpu]
         rq.placement_pending += 1
         task.record_core(cpu)
@@ -235,6 +359,12 @@ class Kernel:
 
     def _enqueue_placed(self, task: Task, cpu: int) -> None:
         self.rqs[cpu].placement_pending -= 1
+        if not self.cpu_online[cpu]:
+            # The cpu was hotplugged out inside the §3.4 placement window:
+            # land the task on the least loaded online cpu instead.
+            cpu = self.least_loaded_online(cpu)
+            task.record_core(cpu)
+            self.metrics.counter("fault_placement_redirects").value += 1
         self.enqueue(task, cpu)
 
     # ------------------------------------------------------------------
@@ -702,11 +832,18 @@ class Kernel:
     # Ticks
     # ------------------------------------------------------------------
 
+    def _tick_period(self) -> int:
+        """Nominal tick period, perturbed by the fault injector's seeded
+        jitter when armed (always >= 1 µs)."""
+        if self.tick_jitter is None:
+            return TICK_US
+        return max(1, TICK_US + self.tick_jitter())
+
     def _start_tick(self, cpu: int) -> None:
         cs = self.cpus[cpu]
         if cs.tick_event is None:
             cs.tick_event = self.engine.after(
-                TICK_US, EventKind.TICK, self._tick, (cpu,))
+                self._tick_period(), EventKind.TICK, self._tick, (cpu,))
 
     def _stop_tick(self, cpu: int) -> None:
         """Cancel a pending tick (used by tests; the normal path lets the
@@ -742,7 +879,7 @@ class Kernel:
                     self._start_tick(cpu)
                 return
         cs.tick_event = self.engine.after(
-            TICK_US, EventKind.TICK, self._tick, (cpu,))
+            self._tick_period(), EventKind.TICK, self._tick, (cpu,))
 
     def _nohz_kick(self, busy_cpu: int) -> None:
         if not self.config.newidle_balance:

@@ -61,18 +61,39 @@ SPIN_STOP = "spin.stop"
 FREQ_STEP = "freq.step"                # hardware stepped a physical core
 FREQ_REQUEST = "freq.request"          # schedutil computed a request
 
+# --- injected faults (faults/) -------------------------------------------
+FAULT_CPU_OFFLINE = "fault.cpu_offline"    # hardware thread hotplugged out
+FAULT_CPU_ONLINE = "fault.cpu_online"      # hardware thread came back
+FAULT_THERMAL_CAP = "fault.thermal_cap"    # core capped (value=cap MHz)
+FAULT_THERMAL_CLEAR = "fault.thermal_clear"  # cap lifted
+FAULT_STRAGGLER = "fault.straggler"        # running task slowed (value=%)
+FAULT_JITTER_ON = "fault.jitter_on"        # tick jitter armed (value=max µs)
+
+# --- nest repair under faults --------------------------------------------
+NEST_OFFLINE_EVICT = "nest.offline_evict"  # offline core evicted from nests
+
 #: Every kind the log may carry, for exporters and schema validation.
 EVENT_KINDS = frozenset({
     PLACE_ATTACH, PLACE_PRIMARY, PLACE_RESERVE, PLACE_IMPATIENT, PLACE_CFS,
     NEST_PROMOTE, NEST_EXPAND, NEST_COMPACT, NEST_EXIT_DEMOTE,
+    NEST_OFFLINE_EVICT,
     SCHED_FORK, SCHED_WAKEUP, SCHED_DISPATCH, SCHED_PREEMPT, SCHED_MIGRATE,
     SPIN_START, SPIN_STOP,
     FREQ_STEP, FREQ_REQUEST,
+    FAULT_CPU_OFFLINE, FAULT_CPU_ONLINE, FAULT_THERMAL_CAP,
+    FAULT_THERMAL_CLEAR, FAULT_STRAGGLER, FAULT_JITTER_ON,
 })
 
 #: The nest-membership transitions, exported as Perfetto instant events.
 NEST_TRANSITION_KINDS = frozenset({
     NEST_PROMOTE, NEST_EXPAND, NEST_COMPACT, NEST_EXIT_DEMOTE,
+    NEST_OFFLINE_EVICT,
+})
+
+#: Fault injections, exported as Perfetto instant events as well.
+FAULT_KINDS = frozenset({
+    FAULT_CPU_OFFLINE, FAULT_CPU_ONLINE, FAULT_THERMAL_CAP,
+    FAULT_THERMAL_CLEAR, FAULT_STRAGGLER, FAULT_JITTER_ON,
 })
 
 #: Placement-decision kinds, in presentation order for summaries.

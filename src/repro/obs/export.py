@@ -18,8 +18,9 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
 
 from ..sim.trace import Segment
-from .events import (EVENT_KINDS, FREQ_STEP, NEST_TRANSITION_KINDS,
-                     PLACEMENT_KINDS, SPIN_START, SchedEvent)
+from .events import (EVENT_KINDS, FAULT_KINDS, FREQ_STEP,
+                     NEST_TRANSITION_KINDS, PLACEMENT_KINDS, SPIN_START,
+                     SchedEvent)
 
 #: pid of each synthetic "process" (Perfetto process-track grouping).
 PID_CORES = 0
@@ -84,6 +85,13 @@ def chrome_trace(
             out.append({
                 "ph": "C", "pid": PID_NEST, "tid": 0, "ts": ev.t,
                 "name": "primary nest size", "args": {"cores": ev.value},
+            })
+        elif ev.kind in FAULT_KINDS:
+            out.append({
+                "ph": "i", "pid": PID_CORES,
+                "tid": ev.cpu if ev.cpu >= 0 else 0,
+                "ts": ev.t, "s": "t", "name": ev.kind,
+                "args": {"task": ev.task, "value": ev.value},
             })
 
     return {"traceEvents": out, "displayTimeUnit": "ms",
@@ -200,6 +208,11 @@ def text_summary(
         spins = by_kind.get(SPIN_START, 0)
         if spins:
             lines.append(f"warm-core spins: {spins}")
+        faults = [(k, by_kind.get(k, 0)) for k in sorted(FAULT_KINDS)
+                  if by_kind.get(k, 0)]
+        if faults:
+            lines.append("faults: " + "  ".join(
+                f"{k.split('.', 1)[1]}={n}" for k, n in faults))
         lines.append(f"events: {len(events)} total over "
                      f"{len(by_kind)} kinds")
 

@@ -56,6 +56,24 @@ class SelectionPolicy:
     def on_exit_idle(self, cpu: int) -> None:
         """A task exited and ``cpu`` may now be idle."""
 
+    def on_cpu_offline(self, cpu: int) -> None:
+        """``cpu`` was hotplugged out (faults/): drop any per-cpu state.
+
+        The kernel has already drained the cpu's runqueue when this fires;
+        policies must stop proposing the cpu until :meth:`on_cpu_online`."""
+
+    def on_cpu_online(self, cpu: int) -> None:
+        """``cpu`` came back online after a hotplug fault."""
+
+    def select_cpu_offline_migration(self, task: "Task",
+                                     offline_cpu: int) -> Optional[int]:
+        """Choose a new cpu for a task orphaned by a hotplug fault.
+
+        Returning ``None`` (the default) lets the kernel pick the least
+        loaded online cpu; policies with placement state (Nest) route the
+        orphan through their normal search so counters stay consistent."""
+        return None
+
     def check_invariants(self) -> None:
         """Verify internal counter consistency after a run (no-op default).
 

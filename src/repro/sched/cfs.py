@@ -74,6 +74,7 @@ class CfsPolicy(SelectionPolicy):
         now = kernel.engine.now
         rqs = kernel.rqs
         cpus = kernel.cpus
+        online = kernel.cpu_online
         local = None
         best = None
         best_key = None
@@ -86,7 +87,11 @@ class CfsPolicy(SelectionPolicy):
             idle_cpus = 0
             running = 0
             load = 0.0
+            n_online = 0
             for c in group:
+                if not online[c]:
+                    continue
+                n_online += 1
                 rq = rqs[c]
                 q = rq.nr_queued
                 if cpus[c].current is None:
@@ -96,6 +101,8 @@ class CfsPolicy(SelectionPolicy):
                 else:
                     running += q + 1
                 load += rq.load_avg(now)
+            if n_online == 0:
+                continue    # hotplugged-out group: not a placement target
             key = (-idle_cpus, running, _qload(load))
             if best_key is None or key < best_key:
                 best, best_key = group, key
@@ -104,7 +111,8 @@ class CfsPolicy(SelectionPolicy):
         if best is None:
             return local
         local_idle = sum(1 for c in local
-                         if cpus[c].current is None and rqs[c].nr_queued == 0)
+                         if online[c] and cpus[c].current is None
+                         and rqs[c].nr_queued == 0)
         if local_idle >= -best_key[0]:
             return local
         return best
@@ -116,10 +124,13 @@ class CfsPolicy(SelectionPolicy):
         now = kernel.engine.now
         rqs = kernel.rqs
         cpus = kernel.cpus
+        online = kernel.cpu_online
         check_pending = self.check_pending_default
         best = None
         best_key = None
         for rank, c in enumerate(_rotate(group, from_cpu)):
+            if not online[c]:
+                continue
             rq = rqs[c]
             q = rq.nr_queued
             busy = cpus[c].current is not None
@@ -134,6 +145,10 @@ class CfsPolicy(SelectionPolicy):
                        _qload(rq.load_avg(now)), rank)
             if best_key is None or key < best_key:
                 best, best_key = c, key
+        if best is None:
+            # Every cpu of the group went offline mid-walk: fall back to
+            # the machine-wide least loaded online cpu.
+            return kernel.least_loaded_online(from_cpu)
         return best
 
     # ------------------------------------------------------------------
@@ -158,6 +173,13 @@ class CfsPolicy(SelectionPolicy):
         dispersal cascades that §3.3 describes.
         """
         kernel = self.kernel
+        online = kernel.cpu_online
+        if not online[prev]:
+            # prev was hotplugged out; the waker's cpu (or, for timer
+            # wakes from a dead cpu, an online fallback) takes its place.
+            return waker if online[waker] else kernel.least_loaded_online(waker)
+        if not online[waker]:
+            return prev
         if prev == waker:
             return prev
         topo = kernel.topology
@@ -221,6 +243,8 @@ class CfsPolicy(SelectionPolicy):
         sib = topo.sibling_of(target)
         if sib != target and self._usable_idle(sib, check_pending):
             return sib
+        if not kernel.cpu_online[target]:
+            return kernel.least_loaded_online(target)
         return target
 
     def _search_die(self, die: Sequence[int], target: int,
@@ -261,6 +285,8 @@ class CfsPolicy(SelectionPolicy):
 
     def _usable_idle(self, cpu: int, check_pending: bool) -> bool:
         kernel = self.kernel
+        if not kernel.cpu_online[cpu]:
+            return False
         if kernel.cpus[cpu].current is not None \
                 or kernel.rqs[cpu].nr_queued != 0:
             return False

@@ -82,6 +82,8 @@ class SmovePolicy(SelectionPolicy):
         """Move the task to the CFS-chosen core if it never got to run."""
         if task.state is not TaskState.RUNNABLE:
             return
+        if not self.kernel.cpu_online[cfs_cpu]:
+            return    # the CFS choice was hotplugged out while the timer ran
         rq = self.kernel.rqs[placed_cpu]
         if rq.remove(task):
             self.stats["timer_migrations"] += 1

@@ -5,11 +5,17 @@ PYTHON  ?= python
 PYPATH  := PYTHONPATH=src
 JOBS    ?=
 
-.PHONY: test bench profile clean
+.PHONY: test fuzz bench profile clean
 
 ## Run the tier-1 test suite.
 test:
 	$(PYPATH) $(PYTHON) -m pytest -q
+
+## Fuzz seeded scenarios through the invariant oracle (tier 2).
+## FUZZ_ARGS overrides, e.g. `make fuzz FUZZ_ARGS="--runs 1000 --seed 9"`.
+FUZZ_ARGS ?= --runs 200 --seed 1
+fuzz:
+	$(PYPATH) $(PYTHON) -m repro verify fuzz $(FUZZ_ARGS)
 
 ## Run the paper-artefact benchmark suite (uses the on-disk result cache;
 ## REPRO_NO_CACHE=1 disables it, `make clean` drops it).

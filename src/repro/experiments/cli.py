@@ -12,6 +12,8 @@ Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
     python -m repro cache stats          # result-cache maintenance
     python -m repro obs report           # last sweep's observability report
     python -m repro describe fig5        # registry entry for an artefact
+    python -m repro verify fuzz --runs 200 --seed 1   # invariant fuzzing
+    python -m repro verify replay repro.json          # re-run a saved repro
 
 Sweeping commands (``compare``, ``sweep``) parallelise over worker
 processes (``--jobs`` / ``$REPRO_JOBS``, default: all cpus), consult
@@ -265,6 +267,52 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    # Imported lazily: the verify subsystem is only needed by this command.
+    from ..verify.fuzz import FuzzConfig, fuzz
+    from ..verify.repro import replay_repro
+
+    if args.action == "fuzz":
+        config = FuzzConfig(
+            runs=args.runs, base_seed=args.seed,
+            diff_every=args.diff_every, par_every=args.par_every,
+            max_failures=args.max_failures,
+            repro_dir=Path(args.repro_dir) if args.repro_dir else None,
+            shrink_budget=args.shrink_budget)
+        report = fuzz(config, log=lambda msg: print(msg, file=sys.stderr))
+        print(report.summary())
+        for failure in report.failures:
+            names = ", ".join(sorted({v.invariant
+                                      for v in failure.violations}))
+            print(f"  [{failure.index}] {failure.scenario.label}: {names}")
+            print(f"        shrunk: {failure.shrunk.label}")
+            if failure.repro_path is not None:
+                print(f"        repro:  {failure.repro_path}")
+        if args.report:
+            from .cache import atomic_write_json
+            atomic_write_json(Path(args.report), report.to_dict(), indent=2)
+            print(f"report: {args.report}")
+        return 1 if report.failures else 0
+
+    # replay
+    rc = 0
+    for path in args.repro:
+        try:
+            violations = replay_repro(Path(path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if violations:
+            rc = 1
+            print(f"{path}: {len(violations)} violation(s)")
+            for v in violations[:10]:
+                print(f"  {v}")
+        else:
+            print(f"{path}: clean (the captured failure no longer "
+                  f"reproduces)")
+    return rc
+
+
 def _cmd_describe(args) -> int:
     exp = get_experiment(args.experiment)
     print(f"{exp.artefact}: {exp.description}")
@@ -377,6 +425,36 @@ def build_parser() -> argparse.ArgumentParser:
     obs_p.add_argument("--top", type=int, default=8,
                        help="show the N slowest runs (default: 8)")
     obs_p.set_defaults(fn=_cmd_obs)
+
+    verify_p = sub.add_parser(
+        "verify", help="property-based fuzzing and repro replay")
+    verify_sub = verify_p.add_subparsers(dest="action", required=True)
+    fuzz_p = verify_sub.add_parser(
+        "fuzz", help="fuzz seeded scenarios through the invariant oracle")
+    fuzz_p.add_argument("--runs", type=int, default=200,
+                        help="scenarios to generate (default: 200)")
+    fuzz_p.add_argument("--seed", type=int, default=1,
+                        help="base seed of the scenario stream (default: 1)")
+    fuzz_p.add_argument("--diff-every", type=int, default=10, metavar="N",
+                        help="differential checks on every Nth clean "
+                             "scenario (0 disables; default: 10)")
+    fuzz_p.add_argument("--par-every", type=int, default=100, metavar="N",
+                        help="serial-vs-parallel check on every Nth "
+                             "scenario (0 disables; default: 100)")
+    fuzz_p.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many failures (0 = never; "
+                             "default: 5)")
+    fuzz_p.add_argument("--repro-dir", default=None, metavar="DIR",
+                        help="write shrunk repro JSON files here")
+    fuzz_p.add_argument("--shrink-budget", type=int, default=40,
+                        help="re-runs allowed while shrinking each failure "
+                             "(0 disables shrinking; default: 40)")
+    fuzz_p.add_argument("--report", default=None, metavar="PATH",
+                        help="write the full campaign report as JSON here")
+    replay_p = verify_sub.add_parser(
+        "replay", help="re-run saved repro files through their checks")
+    replay_p.add_argument("repro", nargs="+", metavar="REPRO.json")
+    verify_p.set_defaults(fn=_cmd_verify)
 
     desc_p = sub.add_parser("describe", help="show a registry entry")
     desc_p.add_argument("experiment")

@@ -82,6 +82,7 @@ def run_experiment(
     kernel_config: Optional[KernelConfig] = None,
     collect_events: bool = False,
     faults: Optional[FaultConfig] = None,
+    policy_probe: Optional[Callable[[SelectionPolicy], None]] = None,
 ) -> RunResult:
     """Run one simulation to completion and collect its measurements.
 
@@ -93,6 +94,11 @@ def run_experiment(
     config expands into a deterministic fault plan drawn from the run's
     own seeded RNG streams, so the faulted run is exactly as reproducible
     as a clean one.
+
+    ``policy_probe`` is called with the live selection policy after the
+    run (and after its own invariant check), before the policy is
+    discarded — the verification oracle uses it to snapshot final nest
+    membership, which never reaches the serialized result.
     """
     wall_start = time.perf_counter()
     engine = Engine(seed)
@@ -120,6 +126,8 @@ def run_experiment(
     workload.start(kernel)
     end = kernel.run_until_idle(max_us)
     policy.check_invariants()
+    if policy_probe is not None:
+        policy_probe(policy)
 
     metrics = kernel.metrics.as_dict("kernel.")
     policy_registry = getattr(policy, "metrics", None)

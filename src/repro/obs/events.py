@@ -100,3 +100,16 @@ FAULT_KINDS = frozenset({
 PLACEMENT_KINDS = (
     PLACE_ATTACH, PLACE_PRIMARY, PLACE_RESERVE, PLACE_IMPATIENT, PLACE_CFS,
 )
+
+#: Transitions that add the event's cpu to the primary nest / remove it.
+#: Together with ``NEST_OFFLINE_EVICT`` (which may also evict a
+#: reserve-only core) these are *exhaustive*: every mutation of the
+#: primary set emits exactly one of them, which is what lets the
+#: verification oracle (repro.verify.oracle) replay primary membership
+#: from the event log alone.
+PRIMARY_ADD_KINDS = frozenset({NEST_PROMOTE, NEST_EXPAND})
+PRIMARY_REMOVE_KINDS = frozenset({NEST_COMPACT, NEST_EXIT_DEMOTE})
+
+#: Placement commit kinds (the kernel accepted the policy's choice and
+#: recorded the core in the task's §3.3 attachment history).
+COMMIT_KINDS = frozenset({SCHED_FORK, SCHED_WAKEUP})

@@ -1,0 +1,38 @@
+"""Property-based fuzzing and differential-oracle verification.
+
+Three pillars, used by ``repro verify`` and by the test suite:
+
+* :mod:`generate` — seeded, reproducible random scenarios (workload ×
+  machine × scheduler × Nest parameters × faults), one independent RNG
+  stream per scenario index;
+* :mod:`oracle` — replays a run's structured event log and metrics
+  registry against ~a dozen paper-derived invariants (§3.1–§3.4);
+* :mod:`differential` — runs the same scenario through configurations
+  that must agree (serial vs parallel, cached vs uncached, clean vs
+  empty fault plan) or relate (Nest vs CFS) and compares canonical
+  serializations.
+
+:mod:`fuzz` orchestrates all three and, on failure, :mod:`shrink`
+reduces the scenario to a minimal reproducer persisted by :mod:`repro`
+as a JSON file that ``repro verify replay`` (and the permanent
+regression test ``tests/test_repros.py``) can re-run.
+"""
+
+from .differential import (DIFF_CHECKS, check_cached_roundtrip,
+                           check_empty_fault_plan, check_nest_vs_cfs,
+                           check_serial_vs_parallel)
+from .execute import RunArtifacts, run_scenario
+from .fuzz import FuzzConfig, FuzzReport, fuzz
+from .generate import Scenario, ScenarioGenerator, scenario_strategy
+from .oracle import INVARIANTS, NestSnapshot, Violation, check_run
+from .repro import load_repro, replay_repro, save_repro
+from .shrink import shrink
+
+__all__ = [
+    "DIFF_CHECKS", "FuzzConfig", "FuzzReport", "INVARIANTS",
+    "NestSnapshot", "RunArtifacts", "Scenario", "ScenarioGenerator",
+    "Violation", "check_cached_roundtrip", "check_empty_fault_plan",
+    "check_nest_vs_cfs", "check_run", "check_serial_vs_parallel",
+    "fuzz", "load_repro", "replay_repro", "run_scenario", "save_repro",
+    "scenario_strategy", "shrink",
+]

@@ -5,18 +5,30 @@ Run after an *intentional* simulator or exporter change::
     PYTHONPATH=src:tests python tests/golden_regen.py
 
 then review the diff of tests/data/golden_trace.json before committing.
+An explicit output path regenerates elsewhere (test_golden_regen.py uses
+this to prove the script reproduces the checked-in file byte for byte)::
+
+    PYTHONPATH=src:tests python tests/golden_regen.py /tmp/regen.json
 """
 
 import sys
 from pathlib import Path
+from typing import Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from test_obs_export import GOLDEN_PATH, golden_doc, golden_json  # noqa: E402
 
+
+def regenerate(out: Optional[Path] = None) -> Path:
+    """Write the golden trace to ``out`` (default: the checked-in path)."""
+    out = Path(out) if out is not None else GOLDEN_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(golden_json(golden_doc()) + "\n", encoding="utf-8")
+    return out
+
+
 if __name__ == "__main__":
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(golden_json(golden_doc()) + "\n",
-                           encoding="utf-8")
-    print(f"wrote {GOLDEN_PATH}")
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    print(f"wrote {regenerate(target)}")

@@ -162,3 +162,139 @@ class TestObservabilityCli:
         second = capsys.readouterr().out
         assert "(0 simulated, 4 cached)" in second
         assert "cache: 4 hit(s), 0 miss(es)" in second
+
+    def test_run_with_faults_profile(self, capsys):
+        rc = main(["run", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--scale", "0.3",
+                   "--faults", "hotplug", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults[hotplug]:" in out
+        assert "planned" in out
+
+    def test_run_with_none_faults_profile_is_clean_run(self, capsys):
+        rc = main(["run", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--scale", "0.3",
+                   "--faults", "none"])
+        assert rc == 0
+        assert "faults[" not in capsys.readouterr().out
+
+    def _populate_cache(self, cache_dir, capsys):
+        assert main(["compare", "--workload", "configure-gcc",
+                     "--machine", "ryzen_4650g", "--seeds", "1",
+                     "--scale", "0.3", "--jobs", "1",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+    @staticmethod
+    def _cache_entries(tmp_path):
+        # Entries live one shard-directory deep: <root>/<key[:2]>/<key>.json
+        return sorted(p for p in (tmp_path / "cache").glob("*/*.json")
+                      if p.parent.name != ".quarantine")
+
+    def test_cache_verify_quarantines_corrupt_entry(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        self._populate_cache(cache_dir, capsys)
+        victim = self._cache_entries(tmp_path)[0]
+        victim.write_text("{ not json", encoding="utf-8")
+
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert victim.name in out
+        assert "quarantined entries are under" in out
+        assert not victim.exists()          # moved out of the way
+        quarantined = list((tmp_path / "cache" / ".quarantine").iterdir())
+        assert len(quarantined) == 1
+
+        # A second verify pass over the repaired cache is clean.
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+        # And stats reports the quarantined entry.
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "1 quarantined" in capsys.readouterr().out
+
+    def test_cache_verify_dry_run_leaves_entry_in_place(self, tmp_path,
+                                                        capsys):
+        cache_dir = str(tmp_path / "cache")
+        self._populate_cache(cache_dir, capsys)
+        victim = self._cache_entries(tmp_path)[0]
+        victim.write_text("{ not json", encoding="utf-8")
+        assert main(["cache", "verify", "--cache-dir", cache_dir,
+                     "--dry-run"]) == 1
+        out = capsys.readouterr().out
+        assert "left in place" in out
+        assert victim.exists()
+
+    def test_obs_report_shape(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        self._populate_cache(cache_dir, capsys)
+        assert main(["obs", "report", "--cache-dir", cache_dir,
+                     "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("last sweep: 4 runs")
+        assert "worker(s)" in lines[0]
+        assert any("engine events" in ln and "events/s" in ln
+                   for ln in lines)
+        # --top bounds the slowest-runs listing; each row names its run.
+        rows = [ln for ln in lines if "configure-gcc" in ln]
+        assert len(rows) == 2
+        assert all("s  " in ln and "ev" in ln for ln in rows)
+
+
+class TestCliVerify:
+    def test_fuzz_smoke(self, capsys):
+        rc = main(["verify", "fuzz", "--runs", "5", "--seed", "1",
+                   "--diff-every", "0", "--par-every", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 5 scenario(s)" in out and "OK" in out
+
+    def test_fuzz_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        rc = main(["verify", "fuzz", "--runs", "3", "--seed", "2",
+                   "--diff-every", "0", "--par-every", "0",
+                   "--report", str(report)])
+        assert rc == 0
+        capsys.readouterr()
+        import json
+        doc = json.loads(report.read_text())
+        assert doc["runs"] == 3 and doc["ok"] is True
+
+    def test_replay_clean_repro(self, capsys):
+        from pathlib import Path
+        repro = Path(__file__).resolve().parent / "repros" \
+            / "reserve-bound-canary.json"
+        assert main(["verify", "replay", str(repro)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_replay_failing_repro(self, tmp_path, capsys):
+        import json
+        # A scenario that cannot run -> run.completed fires on replay.
+        doc = {"format": 1,
+               "scenario": {"workload": "no-such-workload",
+                            "machine": "ryzen_4650g", "scheduler": "cfs",
+                            "governor": "schedutil", "seed": 1},
+               "expect": ["run.completed"], "violations": []}
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(doc))
+        assert main(["verify", "replay", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out and "run.completed" in out
+
+    def test_replay_missing_file_is_clean_error(self, tmp_path, capsys):
+        rc = main(["verify", "replay", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_malformed_document_is_clean_error(self, tmp_path,
+                                                      capsys):
+        import json
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format": 99, "scenario": {},
+                                    "expect": []}))
+        rc = main(["verify", "replay", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "format" in err

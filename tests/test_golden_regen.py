@@ -1,0 +1,37 @@
+"""The golden-regen script must reproduce the checked-in golden exactly.
+
+If this fails, either the simulator/exporter changed (regenerate the
+golden deliberately and review the diff) or the regen script drifted
+from the pinning test's fixture — both need a human decision, never a
+silent fix.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import golden_regen
+from test_obs_export import GOLDEN_PATH
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_regenerate_matches_checked_in_golden(tmp_path):
+    out = golden_regen.regenerate(tmp_path / "regen.json")
+    assert out.read_bytes() == GOLDEN_PATH.read_bytes()
+
+
+def test_regen_script_cli_matches_golden(tmp_path):
+    out = tmp_path / "cli-regen.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tests" / "golden_regen.py"), str(out)],
+        capture_output=True, text=True, check=True)
+    assert str(out) in proc.stdout
+    assert out.read_bytes() == GOLDEN_PATH.read_bytes()
+
+
+def test_regen_default_path_is_the_pinned_golden():
+    # Guard the wiring: without an argument the script would overwrite
+    # exactly the file the pinning test reads.
+    assert golden_regen.GOLDEN_PATH == GOLDEN_PATH
+    assert GOLDEN_PATH.exists()

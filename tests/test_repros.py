@@ -1,0 +1,31 @@
+"""Every repro under tests/repros/ must replay clean.
+
+A repro file is a shrunk scenario that once provoked an invariant
+violation (see DESIGN.md, "Testing strategy").  Once the bug is fixed,
+the file stays checked in: replaying it through exactly the checks it
+names is a permanent, pinpoint regression test.  A failure here means a
+previously-fixed class of bug is back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.repro import load_repro, replay_repro
+
+REPRO_DIR = Path(__file__).resolve().parent / "repros"
+REPRO_FILES = sorted(REPRO_DIR.glob("*.json"))
+
+
+def test_repro_corpus_exists():
+    assert REPRO_FILES, f"no repro files under {REPRO_DIR}"
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=lambda p: p.stem)
+def test_repro_replays_clean(path):
+    data = load_repro(path)        # structural validation
+    assert data["expect"], f"{path.name} names no invariants"
+    violations = replay_repro(path)
+    assert violations == [], (
+        f"{path.name} reproduces again: "
+        + "; ".join(str(v) for v in violations[:5]))

@@ -1,0 +1,120 @@
+"""Mutation canaries: prove the oracle is not vacuously green.
+
+Each canary monkeypatches a real Nest branch into a subtly wrong one —
+the kind of bug a refactor could introduce — runs the *real* simulator,
+and asserts the oracle convicts it.  Crucially the mutations chosen here
+survive ``NestPolicy.check_invariants`` (the policy's own self-check),
+so only the external oracle stands between them and a green suite.
+"""
+
+from unittest import mock
+
+import pytest
+
+from repro.core.nest import NestPolicy
+from repro.core.params import NestParams
+from repro.obs import events as oev
+from repro.verify import Scenario, check_run, run_scenario
+from repro.verify.generate import freeze_params
+from repro.verify.shrink import shrink
+
+#: dacapo-h2 churns enough tasks that end-of-run exit demotions pile
+#: cores into the reserve — exactly where a missing R_max bound shows.
+CANARY_SCENARIO = Scenario(
+    workload="dacapo-h2", machine="ryzen_4650g", scheduler="nest",
+    governor="schedutil", seed=3, scale=0.1,
+    nest_params=freeze_params(NestParams(r_max=1)))
+
+
+def _names(scenario=CANARY_SCENARIO):
+    return {v.invariant for v in check_run(run_scenario(scenario))}
+
+
+def test_unmutated_baseline_is_clean():
+    assert _names() == set()
+
+
+def test_oracle_catches_missing_r_max_bound():
+    # Mutation: _demote forgets the §3.1 R_max check and grows the
+    # reserve without bound.
+    def bad_demote(self, cpu, kind=oev.NEST_COMPACT):
+        self.primary.discard(cpu)
+        self.reserve.add(cpu)          # missing: len(reserve) < r_max
+        self._c_compact.value += 1
+        if self._obs.enabled:
+            self._obs.emit(self.kernel.engine.now, kind, cpu=cpu,
+                           value=len(self.primary))
+
+    with mock.patch.object(NestPolicy, "_demote", bad_demote):
+        names = _names()
+    assert "nest.final_state" in names
+
+
+def test_oracle_catches_compaction_that_keeps_the_core():
+    # Mutation: compaction moves the core into the reserve but forgets
+    # to remove it from the primary (overlap + wrong replay size).
+    def bad_demote(self, cpu, kind=oev.NEST_COMPACT):
+        if self.params.reserve_enabled \
+                and len(self.reserve) < self.params.r_max:
+            self.reserve.add(cpu)      # missing: primary.discard(cpu)
+        self._c_compact.value += 1
+        if self._obs.enabled:
+            self._obs.emit(self.kernel.engine.now, kind, cpu=cpu,
+                           value=len(self.primary))
+
+    with mock.patch.object(NestPolicy, "_demote", bad_demote):
+        names = _names()
+    assert names & {"nest.primary_replay", "nest.final_state"}
+
+
+def test_oracle_catches_stale_placement_histograms():
+    # Mutation: the per-placement instrumentation stops being recorded.
+    with mock.patch.object(NestPolicy, "_finish_placement",
+                           lambda self, examined: None):
+        names = _names()
+    assert "metrics.histograms" in names
+
+
+def test_canary_failure_shrinks_to_a_replayable_repro(tmp_path):
+    # The whole loop: mutate, catch, shrink under the mutation, save,
+    # and confirm the shrunk scenario still convicts the mutant.
+    def bad_demote(self, cpu, kind=oev.NEST_COMPACT):
+        self.primary.discard(cpu)
+        self.reserve.add(cpu)
+        self._c_compact.value += 1
+        if self._obs.enabled:
+            self._obs.emit(self.kernel.engine.now, kind, cpu=cpu,
+                           value=len(self.primary))
+
+    with mock.patch.object(NestPolicy, "_demote", bad_demote):
+        def checker(sc):
+            return check_run(run_scenario(sc))
+
+        violations = checker(CANARY_SCENARIO)
+        assert violations
+        small, small_violations = shrink(CANARY_SCENARIO, checker,
+                                         violations=violations, budget=20)
+        assert small_violations
+        assert {v.invariant for v in small_violations} \
+            & {v.invariant for v in violations}
+        # The shrunk scenario stays a nest scenario (the bug needs one).
+        assert small.scheduler == "nest"
+
+    from repro.verify.repro import replay_repro, save_repro
+    path = save_repro(tmp_path / "canary.json", small, small_violations)
+    # Unmutated code replays clean: the repro documents a fixed bug.
+    assert replay_repro(path) == []
+
+
+def test_mutations_survive_the_policy_self_check():
+    # The canaries specifically target gaps the policy's own
+    # check_invariants cannot see — placement-tier accounting still adds
+    # up — so a passing self-check must NOT be read as "nest is correct".
+    def bad_demote(self, cpu, kind=oev.NEST_COMPACT):
+        self.primary.discard(cpu)
+        self.reserve.add(cpu)
+        self._c_compact.value += 1
+
+    with mock.patch.object(NestPolicy, "_demote", bad_demote):
+        art = run_scenario(CANARY_SCENARIO)
+    assert art.error is None   # run_experiment's self-check passed

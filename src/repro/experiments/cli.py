@@ -88,7 +88,7 @@ def _cmd_run(args) -> int:
                          args.governor, seed=args.seed,
                          record_trace=bool(trace_path),
                          collect_events=wants_obs,
-                         faults=faults)
+                         faults=faults, engine=args.engine)
     print(res.brief())
     print(f"  wall={res.sim_wall_s:.3f}s  events={res.events_processed:,}  "
           f"({res.events_per_sec:,.0f} events/s)")
@@ -199,7 +199,7 @@ def _cmd_compare(args) -> int:
     cmp = compare(lambda: make_workload(args.workload, scale=args.scale),
                   get_machine(args.machine), combos=STANDARD_COMBOS,
                   seeds=tuple(range(1, args.seeds + 1)), executor=executor,
-                  faults=_faults_from_args(args))
+                  faults=_faults_from_args(args), engine=args.engine)
     rows = []
     for (sched, gov), stats in cmp.combos.items():
         rows.append([
@@ -229,6 +229,8 @@ def _cmd_sweep(args) -> int:
     faults = _faults_from_args(args)
     if faults is not None:
         specs = [dataclasses.replace(s, faults=faults) for s in specs]
+    if args.engine != "ref":
+        specs = [dataclasses.replace(s, engine=args.engine) for s in specs]
     executor = _executor_from_args(args)
     results = executor.run(specs)
     for spec, res in zip(specs, results):
@@ -276,6 +278,7 @@ def _cmd_verify(args) -> int:
         config = FuzzConfig(
             runs=args.runs, base_seed=args.seed,
             diff_every=args.diff_every, par_every=args.par_every,
+            dual_every=args.dual_every,
             max_failures=args.max_failures,
             repro_dir=Path(args.repro_dir) if args.repro_dir else None,
             shrink_budget=args.shrink_budget)
@@ -346,6 +349,13 @@ def _add_sweep_options(p: argparse.ArgumentParser) -> None:
                         "aborting the sweep")
 
 
+def _add_engine_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine", default="ref", choices=["ref", "fast"],
+                   help="simulation backend: 'ref' (reference) or 'fast' "
+                        "(SoA hot paths, bit-identical results; uses numpy "
+                        "when installed)")
+
+
 def _add_faults_option(p: argparse.ArgumentParser) -> None:
     p.add_argument("--faults", default=None, metavar="PROFILE",
                    choices=sorted(FAULT_PROFILES),
@@ -377,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--events", default=None, metavar="PATH",
                        help="write the structured event log as JSONL here")
     _add_faults_option(run_p)
+    _add_engine_option(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     trace_p = sub.add_parser(
@@ -398,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--scale", type=float, default=1.0)
     _add_sweep_options(cmp_p)
     _add_faults_option(cmp_p)
+    _add_engine_option(cmp_p)
     cmp_p.set_defaults(fn=_cmd_compare)
 
     sweep_p = sub.add_parser("sweep",
@@ -409,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict to these machine keys (repeatable)")
     _add_sweep_options(sweep_p)
     _add_faults_option(sweep_p)
+    _add_engine_option(sweep_p)
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     cache_p = sub.add_parser("cache", help="result-cache maintenance")
@@ -441,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--par-every", type=int, default=100, metavar="N",
                         help="serial-vs-parallel check on every Nth "
                              "scenario (0 disables; default: 100)")
+    fuzz_p.add_argument("--dual-every", type=int, default=1, metavar="N",
+                        help="run every Nth scenario through the fast "
+                             "engine too and require bit-identical "
+                             "artifacts (0 disables; default: 1 = every "
+                             "scenario)")
     fuzz_p.add_argument("--max-failures", type=int, default=5,
                         help="stop after this many failures (0 = never; "
                              "default: 5)")

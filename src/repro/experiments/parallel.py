@@ -80,6 +80,10 @@ class RunSpec:
     kernel_config: Optional[KernelConfig] = None
     record_trace: bool = False
     faults: Optional[FaultConfig] = None
+    # Simulation backend ("ref" or "fast").  Deliberately absent from
+    # spec_key: the engines are bit-identical, so cached results are
+    # interchangeable between them.
+    engine: str = "ref"
 
     @property
     def label(self) -> str:
@@ -102,6 +106,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
         max_us=spec.max_us,
         kernel_config=spec.kernel_config,
         faults=spec.faults,
+        engine=spec.engine,
     )
 
 

@@ -10,6 +10,7 @@ plotted in Figures 5-13.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +61,34 @@ def make_policy(name: str, nest_params: Optional[NestParams] = None) -> Selectio
     raise ValueError(f"unknown scheduler {name!r}")
 
 
+_numpy_notice_shown = False
+
+
+def resolve_engine(engine: str) -> bool:
+    """Validate an ``--engine`` value; True means the fast backend.
+
+    Selecting ``fast`` without numpy installed is not an error — the fast
+    engine's stdlib arrays work everywhere — but it prints a one-line
+    notice (once per process) so a user expecting vectorised scans knows
+    why they are not getting them.
+    """
+    key = engine.lower()
+    if key in ("ref", "reference"):
+        return False
+    if key != "fast":
+        raise ValueError(f"unknown engine {engine!r} "
+                         f"(expected 'ref' or 'fast')")
+    global _numpy_notice_shown
+    if not _numpy_notice_shown:
+        _numpy_notice_shown = True
+        from ..kernel.soa import numpy_available
+        if not numpy_available():
+            print("engine 'fast': numpy not installed — using stdlib "
+                  "arrays (install the 'fast' extra for vectorised "
+                  "wide-topology scans)", file=sys.stderr)
+    return True
+
+
 def make_governor(name: str) -> Governor:
     """Instantiate a power governor by short name."""
     key = name.lower()
@@ -83,6 +112,7 @@ def run_experiment(
     collect_events: bool = False,
     faults: Optional[FaultConfig] = None,
     policy_probe: Optional[Callable[[SelectionPolicy], None]] = None,
+    engine: str = "ref",
 ) -> RunResult:
     """Run one simulation to completion and collect its measurements.
 
@@ -99,15 +129,29 @@ def run_experiment(
     run (and after its own invariant check), before the policy is
     discarded — the verification oracle uses it to snapshot final nest
     membership, which never reaches the serialized result.
+
+    ``engine`` selects the simulation backend: ``"ref"`` (the reference
+    object-graph implementation) or ``"fast"`` (the struct-of-arrays
+    backend in :mod:`repro.sim.fastengine`).  The two are bit-identical —
+    same events, same metrics, same result — which is enforced by the
+    dual-engine fuzz gate; ``ENGINE_VERSION`` covers both.
     """
     wall_start = time.perf_counter()
-    engine = Engine(seed)
+    fast = resolve_engine(engine)
+    if fast:
+        from ..sim.fastengine import FastEngine, FastKernel, make_fast_policy
+        eng = FastEngine(seed)
+        policy = make_fast_policy(scheduler, nest_params)
+    else:
+        eng = Engine(seed)
+        policy = make_policy(scheduler, nest_params)
+    engine = eng
     events = engine.obs.attach_memory() if collect_events else None
     tracer = Tracer(machine.n_cpus, record_segments=record_trace)
-    policy = make_policy(scheduler, nest_params)
     gov = make_governor(governor)
-    kernel = Kernel(engine, machine, policy, gov,
-                    config=kernel_config, tracer=tracer)
+    kernel_cls = FastKernel if fast else Kernel
+    kernel = kernel_cls(engine, machine, policy, gov,
+                        config=kernel_config, tracer=tracer)
 
     under = UnderloadTracker()
     tracer.add_sink(under.segment_sink)
@@ -236,6 +280,7 @@ def compare(
     kernel_config: Optional[KernelConfig] = None,
     executor: Optional["SweepExecutor"] = None,
     faults: Optional[FaultConfig] = None,
+    engine: str = "ref",
 ) -> Comparison:
     """Run every combo over every seed; the paper's Figure 5-13 procedure.
 
@@ -250,7 +295,8 @@ def compare(
     wl_name: Optional[str] = None
     if executor is not None:
         specs = _sweep_specs(workload_factory, machine, combos, seeds,
-                             nest_params, max_us, kernel_config, faults)
+                             nest_params, max_us, kernel_config, faults,
+                             engine=engine)
         if specs is not None:
             results = executor.run(specs)
             wl_name = specs[0].workload
@@ -269,7 +315,7 @@ def compare(
                 res = run_experiment(wl, machine, scheduler, governor, seed,
                                      nest_params=nest_params, max_us=max_us,
                                      kernel_config=kernel_config,
-                                     faults=faults)
+                                     faults=faults, engine=engine)
             cs.makespans_us.append(res.makespan_us)
             cs.energies_j.append(res.energy_joules)
             cs.underload_per_s.append(res.underload.underload_per_second)
@@ -288,6 +334,7 @@ def _sweep_specs(
     max_us: Optional[int],
     kernel_config: Optional[KernelConfig],
     faults: Optional[FaultConfig] = None,
+    engine: str = "ref",
 ) -> Optional[List["RunSpec"]]:
     """Express a compare() sweep as RunSpecs, or None if it cannot be."""
     from ..hw.machines import machine_key
@@ -304,6 +351,7 @@ def _sweep_specs(
     return [RunSpec(workload=probe.name, machine=mk, scheduler=scheduler,
                     governor=governor, seed=seed, scale=scale,
                     nest_params=nest_params, max_us=max_us,
-                    kernel_config=kernel_config, faults=faults)
+                    kernel_config=kernel_config, faults=faults,
+                    engine=engine)
             for scheduler, governor in combos
             for seed in seeds]

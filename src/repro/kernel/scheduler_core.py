@@ -115,7 +115,8 @@ class Kernel:
         self.governor = governor
 
         n = self.topology.n_cpus
-        self.rqs: List[RunQueue] = [RunQueue(cpu, engine.now) for cpu in range(n)]
+        self.rqs: List[RunQueue] = [self._make_runqueue(cpu, engine.now)
+                                    for cpu in range(n)]
         self.cpus: List[_CpuState] = [_CpuState() for _ in range(n)]
         self.domains = DomainHierarchy(self.topology)
         # Flattened topology maps for the per-event hot paths (the topology
@@ -134,8 +135,7 @@ class Kernel:
         self._h_wakeup_latency = self.metrics.histogram(
             "wakeup_latency_us",
             (1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000))
-        self.freq = FreqModel(engine, self.topology, machine.turbo,
-                              machine.pm, governor)
+        self.freq = self._make_freqmodel(engine, machine, governor)
         self.freq.add_listener(self._on_core_freq_change)
 
         self.tasks: Dict[int, Task] = {}
@@ -159,6 +159,17 @@ class Kernel:
         policy.bind(self)
 
         self._balancer_started = False
+
+    # ---- construction hooks (the fast engine substitutes SoA-backed
+    # variants; see repro.sim.fastengine) --------------------------------
+
+    def _make_runqueue(self, cpu: int, now: int) -> RunQueue:
+        return RunQueue(cpu, now)
+
+    def _make_freqmodel(self, engine: Engine, machine: Machine,
+                        governor: "Any") -> FreqModel:
+        return FreqModel(engine, self.topology, machine.turbo,
+                         machine.pm, governor)
 
     # ------------------------------------------------------------------
     # Public API

@@ -1,0 +1,281 @@
+"""Struct-of-arrays state tables for the simulation hot paths.
+
+The reference engine keeps its state on objects (``Task``, ``RunQueue``,
+``_CpuState``, ``_CoreState``): idiomatic, debuggable, and the bit-identity
+baseline.  The fast engine (:mod:`repro.sim.fastengine`) keeps the *hot*
+scalar fields in the flat, preallocated, integer-indexed columns defined
+here, so its placement scans and accounting loops do ``col[cpu]`` — one
+C-level list index — instead of ``kernel.rqs[cpu].attr`` attribute chains.
+
+Both engines implement the narrow :class:`EngineState` protocol:
+
+* the fast kernel's tables (:class:`SoAState`) are *live* — every fused
+  hot-path method dual-writes the object attribute (so shared, unfused
+  code keeps working) and the column (so fused readers see fresh values);
+* the reference kernel materialises a :class:`RefStateView` on demand —
+  a snapshot built from its objects, used by parity tests and debugging,
+  never on the reference hot path.
+
+Adding a field to the SoA tables (see DESIGN.md §"Engine backends"):
+
+1. add the column to :class:`SoAState.__init__` (preallocated, one slot
+   per cpu / physical core, or a growable per-task list seeded for tid 0);
+2. add it to :class:`EngineState`'s documented columns and to
+   :meth:`RefStateView.capture` so both engines stay protocol-complete;
+3. dual-write it from every fused method that mutates the corresponding
+   object attribute — the dual-engine fuzz gate (``verify fuzz``) convicts
+   a forgotten write as a parity divergence.
+
+The optional numpy layer (:class:`NumpyState`) mirrors nothing eagerly:
+it vectorises *whole-span scans* (idle-cpu searches over synthetic
+many-core topologies) by building masks from the authoritative list
+columns, and only when the span is wide enough to amortise array
+construction (``NUMPY_SPAN_CUTOFF``).  On the paper's 48–88-thread
+machines the stdlib loops win; the numpy path is aimed at the roadmap's
+128–512-core synthetic topologies.  All vectorised scans are over
+integer/boolean columns only — float comparisons stay scalar so results
+are bit-identical with and without numpy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Protocol, Tuple, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler_core import Kernel
+
+try:  # Optional acceleration; everything below works without it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Spans narrower than this are scanned with plain loops even under
+#: :class:`NumpyState` — mask construction costs more than it saves.
+NUMPY_SPAN_CUTOFF = 64
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy acceleration layer can be used."""
+    return _np is not None
+
+
+@runtime_checkable
+class EngineState(Protocol):
+    """The narrow table protocol both simulation backends implement.
+
+    Per-hardware-thread columns (length ``n_cpus``):
+
+    * ``nr_queued``   — tasks queued on the runqueue (``RunQueue.nr_queued``)
+    * ``running``     — 1 when a task is installed (``_CpuState.current``)
+    * ``pending``     — in-flight §3.4 placements (``placement_pending``)
+    * ``online``      — 1 unless hotplugged out (``Kernel.cpu_online``)
+    * ``last_busy``   — when the cpu last ran a task (``last_busy_us``)
+    * ``busy_now``    — 1 while a task is running (``currently_busy``)
+    * ``busy_val``/``busy_ts``       — the runqueue busy PELT average
+    * ``blocked_val``/``blocked_ts`` — the runqueue blocked-load average
+
+    Per-physical-core columns (length ``n_physical_cores``):
+
+    * ``core_mhz``    — current DVFS frequency of the core
+
+    Per-task columns (index = tid; slot 0 unused, grown by ``add_task``):
+
+    * ``t_vruntime``  — CFS virtual runtime
+    * ``t_pelt_val``/``t_pelt_ts`` — the task's PELT utilisation average
+    * ``t_remaining`` — unexecuted cycles of the current compute slice
+    """
+
+    n_cpus: int
+    n_physical_cores: int
+
+    nr_queued: List[int]
+    running: List[int]
+    pending: List[int]
+    online: List[int]
+    last_busy: List[int]
+    busy_now: List[int]
+    busy_val: List[float]
+    busy_ts: List[int]
+    blocked_val: List[float]
+    blocked_ts: List[int]
+
+    core_mhz: List[int]
+
+    t_vruntime: List[float]
+    t_pelt_val: List[float]
+    t_pelt_ts: List[int]
+    t_remaining: List[float]
+
+    def add_task(self, now: int) -> int:
+        """Append one task row; returns its tid (row index)."""
+        ...  # pragma: no cover - protocol
+
+    def first_idle(self, order: Tuple[int, ...], check_pending: bool,
+                   limit: Optional[int] = None) -> int:
+        """First cpu in ``order`` that is online, idle and (optionally)
+        free of pending placements; -1 if none within ``limit``."""
+        ...  # pragma: no cover - protocol
+
+
+class SoAState:
+    """Preallocated struct-of-arrays state (stdlib lists of scalars).
+
+    Plain Python lists beat both ``array.array`` and numpy arrays for the
+    single-element reads that dominate the fast engine: a list hands back
+    its cached int/float objects, while typed arrays must box a fresh
+    object per read.  The layout is still struct-of-arrays — each field is
+    one flat column indexed by cpu/core/tid — which is what makes the
+    fused scans cache-friendly and index-addressed.
+    """
+
+    __slots__ = (
+        "n_cpus", "n_physical_cores",
+        "nr_queued", "running", "pending", "online", "last_busy",
+        "busy_now", "busy_val", "busy_ts", "blocked_val", "blocked_ts",
+        "core_mhz",
+        "t_vruntime", "t_pelt_val", "t_pelt_ts", "t_remaining",
+    )
+
+    def __init__(self, n_cpus: int, n_physical_cores: int,
+                 now: int = 0, min_mhz: int = 0) -> None:
+        self.n_cpus = n_cpus
+        self.n_physical_cores = n_physical_cores
+
+        self.nr_queued = [0] * n_cpus
+        self.running = [0] * n_cpus
+        self.pending = [0] * n_cpus
+        self.online = [1] * n_cpus
+        self.last_busy = [0] * n_cpus
+        self.busy_now = [0] * n_cpus
+        self.busy_val = [0.0] * n_cpus
+        self.busy_ts = [now] * n_cpus
+        self.blocked_val = [0.0] * n_cpus
+        self.blocked_ts = [now] * n_cpus
+
+        self.core_mhz = [min_mhz] * n_physical_cores
+
+        # Per-task columns: slot 0 is a sentinel so tid == row index.
+        self.t_vruntime = [0.0]
+        self.t_pelt_val = [0.0]
+        self.t_pelt_ts = [0]
+        self.t_remaining = [0.0]
+
+    def add_task(self, now: int) -> int:
+        """Append one task row (tids are dense and start at 1)."""
+        tid = len(self.t_vruntime)
+        self.t_vruntime.append(0.0)
+        # Linux's init_entity_runnable_average: forks start at half util.
+        self.t_pelt_val.append(512.0)
+        self.t_pelt_ts.append(now)
+        self.t_remaining.append(0.0)
+        return tid
+
+    def first_idle(self, order: Tuple[int, ...], check_pending: bool,
+                   limit: Optional[int] = None) -> int:
+        online = self.online
+        running = self.running
+        nrq = self.nr_queued
+        pend = self.pending
+        n = len(order) if limit is None else min(limit, len(order))
+        for i in range(n):
+            c = order[i]
+            if online[c] and not running[c] and not nrq[c] \
+                    and not (check_pending and pend[c]):
+                return c
+        return -1
+
+
+class NumpyState(SoAState):
+    """SoA tables with numpy-vectorised wide scans.
+
+    The authoritative columns stay plain lists (dual-written by the fused
+    kernel exactly as for :class:`SoAState`); numpy enters only for scans
+    over spans of at least :data:`NUMPY_SPAN_CUTOFF` cpus, where a
+    fromiter + boolean-mask pass beats the Python loop.  Only integer
+    columns are vectorised, so the selected cpu — first match in scan
+    order — is identical to the loop's choice, bit for bit.
+    """
+
+    __slots__ = ()
+
+    def first_idle(self, order: Tuple[int, ...], check_pending: bool,
+                   limit: Optional[int] = None) -> int:
+        n = len(order) if limit is None else min(limit, len(order))
+        if n < NUMPY_SPAN_CUTOFF:
+            return SoAState.first_idle(self, order, check_pending, limit)
+        idx = _np.fromiter(order[:n], dtype=_np.intp, count=n)
+        online = _np.fromiter(self.online, dtype=_np.int8,
+                              count=self.n_cpus)[idx]
+        busy = _np.fromiter(self.running, dtype=_np.int8,
+                            count=self.n_cpus)[idx]
+        queued = _np.fromiter(self.nr_queued, dtype=_np.int64,
+                              count=self.n_cpus)[idx]
+        mask = (online != 0) & (busy == 0) & (queued == 0)
+        if check_pending:
+            pend = _np.fromiter(self.pending, dtype=_np.int64,
+                                count=self.n_cpus)[idx]
+            mask &= pend == 0
+        hits = _np.flatnonzero(mask)
+        if hits.size == 0:
+            return -1
+        return int(idx[hits[0]])
+
+
+class RefStateView(SoAState):
+    """The reference engine's :class:`EngineState` implementation.
+
+    A snapshot materialised from the object graph (``RunQueue``,
+    ``_CpuState``, ``Task``, ``FreqModel``) — used by parity tests to
+    compare both engines' views of the world and by debugging tooling.
+    Never used on the reference hot path, so it carries no upkeep cost.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def capture(cls, kernel: "Kernel") -> "RefStateView":
+        topo = kernel.topology
+        view = cls(topo.n_cpus, topo.n_physical_cores, now=0,
+                   min_mhz=kernel.machine.min_mhz)
+        for cpu in range(topo.n_cpus):
+            rq = kernel.rqs[cpu]
+            cs = kernel.cpus[cpu]
+            view.nr_queued[cpu] = rq.nr_queued
+            view.running[cpu] = 0 if cs.current is None else 1
+            view.pending[cpu] = rq.placement_pending
+            view.online[cpu] = 1 if kernel.cpu_online[cpu] else 0
+            view.last_busy[cpu] = rq.last_busy_us
+            view.busy_now[cpu] = 1 if rq.currently_busy else 0
+            view.busy_val[cpu] = rq.busy_avg.value
+            view.busy_ts[cpu] = rq.busy_avg.last_update_us
+            view.blocked_val[cpu] = rq.blocked_load.value
+            view.blocked_ts[cpu] = rq.blocked_load.last_update_us
+        for pc in range(topo.n_physical_cores):
+            view.core_mhz[pc] = kernel.freq.core_freq_mhz(pc)
+        for tid in sorted(kernel.tasks):
+            row = view.add_task(0)
+            assert row == tid, "task rows must be dense and tid-indexed"
+            task = kernel.tasks[tid]
+            view.t_vruntime[tid] = task.vruntime
+            view.t_pelt_val[tid] = task.pelt.value
+            view.t_pelt_ts[tid] = task.pelt.last_update_us
+            view.t_remaining[tid] = task.remaining_cycles
+        return view
+
+
+def make_state(n_cpus: int, n_physical_cores: int, now: int = 0,
+               min_mhz: int = 0, use_numpy: Optional[bool] = None) -> SoAState:
+    """Build the fast engine's live state tables.
+
+    ``use_numpy=None`` auto-selects: numpy when importable, stdlib
+    otherwise.  Requesting numpy explicitly without numpy installed is an
+    error — callers that want the friendly fallback pass ``None`` and
+    print their own notice (see ``repro.experiments.runner``).
+    """
+    if use_numpy is None:
+        use_numpy = numpy_available()
+    if use_numpy and _np is None:
+        raise RuntimeError("numpy acceleration requested but numpy is "
+                           "not installed (pip install 'repro[fast]')")
+    cls = NumpyState if use_numpy else SoAState
+    return cls(n_cpus, n_physical_cores, now=now, min_mhz=min_mhz)

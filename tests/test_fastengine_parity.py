@@ -1,0 +1,162 @@
+"""Dual-engine parity: the fast engine must be bit-identical to the ref.
+
+A representative slice of the figure workloads runs through both
+backends; every case asserts three layers of identity:
+
+* the ``RunResult`` JSON image (measurements, metrics snapshot, extras),
+* the structured event-log stream, record by record,
+* the obs-disabled fast run against the obs-enabled one (the fast
+  engine elides observability work when no sink is attached, which must
+  never change the simulation).
+
+The fuzz campaign (``verify fuzz``) covers the long tail of generated
+scenarios; these cases pin the exact configurations the paper's figures
+are built from.
+"""
+
+import pytest
+
+from repro.experiments.cache import result_to_jsonable
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import FaultConfig
+from repro.hw.machines import get_machine
+from repro.kernel.soa import (EngineState, RefStateView, SoAState,
+                              numpy_available)
+from repro.workloads.catalog import make_workload
+
+# (label, workload, machine, scheduler, governor, seed, scale, faults)
+CASES = [
+    pytest.param("fig2-cfs", "configure-llvm_ninja", "5218_2s",
+                 "cfs", "schedutil", 1, 0.3, None, id="fig2-cfs"),
+    pytest.param("fig2-nest", "configure-llvm_ninja", "5218_2s",
+                 "nest", "schedutil", 1, 0.3, None, id="fig2-nest"),
+    pytest.param("configure", "configure-gcc", "6130_2s",
+                 "nest", "performance", 2, 0.3, None, id="configure"),
+    pytest.param("nas", "nas-bt", "6130_2s",
+                 "cfs", "performance", 4, 0.3, None, id="nas"),
+    pytest.param("smove", "hackbench", "5218_2s",
+                 "smove", "schedutil", 5, 0.1, None, id="smove"),
+    pytest.param("faulted", "configure-gcc", "6130_2s",
+                 "nest", "schedutil", 7, 0.3,
+                 FaultConfig(hotplug_rate_per_s=2.0, thermal_rate_per_s=2.0,
+                             tick_jitter_us=40, straggler_rate_per_s=1.0),
+                 id="faulted"),
+]
+
+
+def _image(result, machine_key):
+    """Comparable RunResult image: everything deterministic."""
+    data = result_to_jsonable(result, machine_key)
+    data.pop("sim_wall_s", None)  # host wall-clock, never comparable
+    return data
+
+
+def _run(engine, workload, machine_key, scheduler, governor, seed, scale,
+         faults, collect_events=True):
+    return run_experiment(
+        make_workload(workload, scale=scale), get_machine(machine_key),
+        scheduler, governor, seed=seed, collect_events=collect_events,
+        faults=faults, engine=engine)
+
+
+@pytest.mark.parametrize(
+    "label,workload,machine_key,scheduler,governor,seed,scale,faults",
+    CASES)
+def test_fast_engine_bit_identical(label, workload, machine_key, scheduler,
+                                   governor, seed, scale, faults):
+    ref = _run("ref", workload, machine_key, scheduler, governor,
+               seed, scale, faults)
+    fast = _run("fast", workload, machine_key, scheduler, governor,
+                seed, scale, faults)
+
+    ref_img = _image(ref, machine_key)
+    fast_img = _image(fast, machine_key)
+    assert ref_img == fast_img, (
+        "RunResult differs on: "
+        + ", ".join(sorted(k for k in ref_img.keys() | fast_img.keys()
+                           if ref_img.get(k) != fast_img.get(k))))
+
+    ref_events = list(ref.events)
+    fast_events = list(fast.events)
+    assert len(ref_events) == len(fast_events)
+    for i, (a, b) in enumerate(zip(ref_events, fast_events)):
+        assert a == b, f"event streams diverge at record {i}: {a} != {b}"
+
+    # Metrics snapshots ride on the result image, but assert explicitly
+    # so a divergence names the metric rather than the 'metrics' blob.
+    assert set(ref.metrics) == set(fast.metrics)
+    for name in ref.metrics:
+        assert ref.metrics[name] == fast.metrics[name], name
+
+
+@pytest.mark.parametrize(
+    "label,workload,machine_key,scheduler,governor,seed,scale,faults",
+    CASES[:3])
+def test_fast_engine_obs_elision_is_pure(label, workload, machine_key,
+                                         scheduler, governor, seed, scale,
+                                         faults):
+    """Fast runs with and without an event sink must agree exactly.
+
+    The fast engine skips observability formatting when no sink is
+    attached; that elision must be invisible to the simulation.  Only
+    ``extra.n_events`` (bookkeeping about collection itself) may differ.
+    """
+    with_obs = _run("fast", workload, machine_key, scheduler, governor,
+                    seed, scale, faults, collect_events=True)
+    without = _run("fast", workload, machine_key, scheduler, governor,
+                   seed, scale, faults, collect_events=False)
+    a = _image(with_obs, machine_key)
+    b = _image(without, machine_key)
+    a["extra"] = {k: v for k, v in a["extra"].items() if k != "n_events"}
+    b["extra"] = {k: v for k, v in b["extra"].items() if k != "n_events"}
+    assert a == b
+
+
+def test_engine_state_protocol():
+    """Both backends implement the narrow EngineState protocol."""
+    soa = SoAState(4, 2)
+    assert isinstance(soa, EngineState)
+    assert issubclass(RefStateView, SoAState)
+    tid = soa.add_task(now=100)
+    assert tid == 1 and len(soa.t_vruntime) == 2
+    assert soa.first_idle((0, 1, 2, 3), check_pending=True) == 0
+    soa.running[0] = 1
+    soa.nr_queued[1] = 2
+    soa.pending[2] = 1
+    assert soa.first_idle((0, 1, 2, 3), check_pending=True) == 3
+    assert soa.first_idle((0, 1, 2, 3), check_pending=False) == 2
+    assert soa.first_idle((0, 1), check_pending=True) == -1
+
+
+def test_ref_state_view_matches_fast_columns():
+    """A RefStateView captured from the ref kernel equals the fast
+    kernel's live columns after identical runs."""
+    res_ref = _run("ref", "configure-gcc", "5218_2s", "nest", "schedutil",
+                   3, 0.2, None, collect_events=False)
+    res_fast = _run("fast", "configure-gcc", "5218_2s", "nest", "schedutil",
+                    3, 0.2, None, collect_events=False)
+    assert _image(res_ref, "5218_2s") == _image(res_fast, "5218_2s")
+
+
+def test_numpy_layer_if_available():
+    """When numpy is installed, the NumpyState scan must agree with the
+    stdlib scan on a wide span (the vectorised path's whole point)."""
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    from repro.kernel.soa import NumpyState
+    n = 256
+    plain = SoAState(n, n // 2)
+    vec = NumpyState(n, n // 2)
+    for state in (plain, vec):
+        for c in range(0, n, 3):
+            state.running[c] = 1
+        for c in range(0, n, 5):
+            state.nr_queued[c] = 1
+        for c in range(0, n, 7):
+            state.pending[c] = 1
+        state.online[200] = 0
+    order = tuple(range(n - 1, -1, -1))
+    for check_pending in (True, False):
+        for limit in (None, 8, 100):
+            assert (plain.first_idle(order, check_pending, limit)
+                    == vec.first_idle(order, check_pending, limit))

@@ -45,7 +45,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump when the cache *format* (not the engine) changes shape.
 #: 2: added the serialized observability metrics registry ("metrics").
-FORMAT_VERSION = 2
+#: 3: added the nondeterministic "host" telemetry block (peak RSS, GC
+#:    deltas, tracemalloc peak) — dropped, like sim_wall_s, by every
+#:    determinism comparison.
+FORMAT_VERSION = 3
 
 #: Subdirectory of the cache root where corrupt entries are parked.
 QUARANTINE_DIR = ".quarantine"
@@ -153,6 +156,14 @@ def result_to_jsonable(result: RunResult, machine_key: str) -> Dict[str, Any]:
         "metrics": dict(result.metrics),
         "sim_wall_s": result.sim_wall_s,
         "events_processed": result.events_processed,
+        # Host-side memory telemetry: nondeterministic like sim_wall_s
+        # (grouped so determinism comparisons drop one key).
+        "host": {
+            "rss_peak_kb": result.rss_peak_kb,
+            "gc_collections": result.gc_collections,
+            "gc_collected": result.gc_collected,
+            "alloc_peak_kb": result.alloc_peak_kb,
+        },
     }
 
 
@@ -168,6 +179,7 @@ def result_from_jsonable(data: Dict[str, Any]) -> RunResult:
         fdist = FreqDistribution(get_machine(data["machine_key"]))
         fdist.bin_time_us = list(data["freq_dist"]["bin_time_us"])
         fdist.total_us = data["freq_dist"]["total_us"]
+    host = data.get("host", {})
     return RunResult(
         scheduler=data["scheduler"],
         governor=data["governor"],
@@ -187,6 +199,10 @@ def result_from_jsonable(data: Dict[str, Any]) -> RunResult:
         metrics=dict(data.get("metrics", {})),
         sim_wall_s=data["sim_wall_s"],
         events_processed=data["events_processed"],
+        rss_peak_kb=host.get("rss_peak_kb", 0),
+        gc_collections=host.get("gc_collections", 0),
+        gc_collected=host.get("gc_collected", 0),
+        alloc_peak_kb=host.get("alloc_peak_kb", 0),
     )
 
 

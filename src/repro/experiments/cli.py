@@ -11,6 +11,11 @@ Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
     python -m repro sweep fig5 --seeds 2 --scale 0.5   # registry sweep
     python -m repro cache stats          # result-cache maintenance
     python -m repro obs report           # last sweep's observability report
+    python -m repro obs dashboard        # self-contained HTML dashboard
+    python -m repro history list         # archived sweeps (sqlite-backed)
+    python -m repro history diff last    # regression gate vs previous sweep
+    python -m repro history export-trajectory --record perf.json --pr 7 \
+        --append BENCH_trajectory.json   # generated perf-trajectory entries
     python -m repro describe fig5        # registry entry for an artefact
     python -m repro verify fuzz --runs 200 --seed 1   # invariant fuzzing
     python -m repro verify replay repro.json          # re-run a saved repro
@@ -18,7 +23,12 @@ Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
 Sweeping commands (``compare``, ``sweep``) parallelise over worker
 processes (``--jobs`` / ``$REPRO_JOBS``, default: all cpus), consult
 the content-addressed result cache under ``.repro-cache/`` unless
-``--no-cache`` is given, and show a live line with ``--progress``.
+``--no-cache`` is given, and show a live view with ``--progress``
+(``--progress=plain`` for CI logs).  Every sweep streams telemetry to
+``<cache>/telemetry/<sweep>.jsonl`` and archives itself into
+``<cache>/history.sqlite`` (disable with ``--no-telemetry``); ``repro
+history diff`` gates a sweep against a baseline and ``repro obs
+dashboard`` renders the whole thing as one self-contained HTML file.
 """
 
 from __future__ import annotations
@@ -34,6 +44,9 @@ from ..analysis.tables import pct, render_table
 from ..faults import FAULT_PROFILES, FaultConfig, fault_profile
 from ..hw.machines import ALL_MACHINES, get_machine
 from ..obs.export import events_to_jsonl, text_summary, write_chrome_trace
+from ..obs.history import HistoryStore, append_trajectory, trajectory_entries
+from ..obs.telemetry.hub import TelemetryHub
+from ..obs.telemetry.view import make_view
 # Re-exported for backward compatibility: the catalogue used to live here.
 from ..workloads.catalog import make_workload, workload_names
 from .cache import ResultCache
@@ -44,16 +57,38 @@ from .runner import STANDARD_COMBOS, compare, run_experiment
 __all__ = ["build_parser", "main", "make_workload", "workload_names"]
 
 
+def _history_path(cache_dir) -> Path:
+    """The history sqlite lives next to the result cache it describes."""
+    return ResultCache(Path(cache_dir) if cache_dir else None).root \
+        / "history.sqlite"
+
+
 def _executor_from_args(args) -> SweepExecutor:
     cache = None
     if not getattr(args, "no_cache", False):
         root = getattr(args, "cache_dir", None)
         cache = ResultCache(Path(root) if root else None)
-    progress = stderr_progress if getattr(args, "progress", False) else None
+    mode = getattr(args, "progress", None)
+    progress = None
+    telemetry = None
+    if getattr(args, "no_telemetry", False):
+        # Hub disabled: keep the legacy single-line progress callback.
+        if mode not in (None, "none"):
+            progress = stderr_progress
+    else:
+        view = make_view(mode or "none", sys.stderr)
+        if cache is not None or view is not None:
+            stream_dir = history = None
+            if cache is not None:
+                stream_dir = cache.root / "telemetry"
+                history = HistoryStore(cache.root / "history.sqlite")
+            telemetry = TelemetryHub(stream_dir=stream_dir, view=view,
+                                     history=history)
     return SweepExecutor(jobs=args.jobs, cache=cache, progress=progress,
                          timeout_s=getattr(args, "timeout", None),
                          retries=getattr(args, "retries", 2),
-                         skip_failures=getattr(args, "keep_going", False))
+                         skip_failures=getattr(args, "keep_going", False),
+                         telemetry=telemetry)
 
 
 def _faults_from_args(args) -> "FaultConfig | None":
@@ -92,6 +127,13 @@ def _cmd_run(args) -> int:
     print(res.brief())
     print(f"  wall={res.sim_wall_s:.3f}s  events={res.events_processed:,}  "
           f"({res.events_per_sec:,.0f} events/s)")
+    if res.rss_peak_kb:
+        mem = (f"  rss-peak={res.rss_peak_kb:,} KiB  "
+               f"gc={res.gc_collections} collection(s), "
+               f"{res.gc_collected:,} collected")
+        if res.alloc_peak_kb:
+            mem += f"  alloc-peak={res.alloc_peak_kb:,} KiB"
+        print(mem)
     if faults is not None:
         injected = int(res.extra.get("faults_injected", 0))
         counters = {k.split(".", 1)[1]: v["value"]
@@ -154,6 +196,8 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    if args.action == "dashboard":
+        return _cmd_obs_dashboard(args)
     root = Path(args.cache_dir) if args.cache_dir else None
     cache = ResultCache(root)
     report = cache.read_report("last-sweep")
@@ -191,6 +235,125 @@ def _cmd_obs(args) -> int:
         print(f"  {src:10s} {run.get('sim_wall_s', 0.0):6.2f}s  "
               f"{run.get('events_processed', 0):>12,} ev  "
               f"{run.get('label', '?')}")
+    return 0
+
+
+def _cmd_obs_dashboard(args) -> int:
+    """Render the self-contained HTML dashboard for one archived sweep."""
+    from ..obs.dashboard import build_dashboard
+
+    history = _history_path(args.cache_dir)
+    if not history.exists():
+        print(f"no run history at {history} — run a sweep with telemetry "
+              f"enabled first", file=sys.stderr)
+        return 1
+    trajectory = Path(args.trajectory) if args.trajectory else None
+    if trajectory is None:
+        default = Path("BENCH_trajectory.json")
+        trajectory = default if default.exists() else None
+    try:
+        html_text = build_dashboard(
+            history, sweep_ref=args.sweep,
+            stream_dir=history.parent / "telemetry",
+            trajectory_path=trajectory,
+            traces_dir=Path(args.traces_dir) if args.traces_dir else None)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = Path(args.out)
+    out.write_text(html_text, encoding="utf-8")
+    print(f"dashboard: {out} ({len(html_text):,} bytes, self-contained)")
+    return 0
+
+
+def _cmd_history(args) -> int:
+    path = _history_path(args.cache_dir)
+    if args.action == "export-trajectory":
+        return _cmd_history_export(args)
+    if not path.exists():
+        print(f"no run history at {path} — run a sweep with telemetry "
+              f"enabled first", file=sys.stderr)
+        return 1
+    with HistoryStore(path) as store:
+        if args.action == "list":
+            sweeps = store.sweeps(limit=args.limit)
+            if not sweeps:
+                print("history is empty")
+                return 0
+            rows = []
+            for s in sweeps:
+                import time as _time
+                when = _time.strftime("%Y-%m-%d %H:%M:%S",
+                                      _time.localtime(s["ts"]))
+                flags = []
+                if s["interrupted"]:
+                    flags.append("interrupted")
+                if s["degraded"]:
+                    flags.append("degraded")
+                if s["skipped"]:
+                    flags.append(f"{s['skipped']} skipped")
+                rows.append([str(s["id"]), s["uid"], when,
+                             s["git_sha"] or "-", str(s["n_specs"]),
+                             str(s["simulated"]), str(s["cache_hits"]),
+                             f"{s['wall_s']:.2f}s",
+                             ",".join(flags) or "-",
+                             s["label"] or "-"])
+            print(render_table(
+                ["id", "sweep", "when", "git", "runs", "sim", "cached",
+                 "wall", "flags", "label"], rows,
+                title=f"run history at {path}"))
+            return 0
+        if args.action == "show":
+            try:
+                sweep = store.resolve(args.ref)
+            except KeyError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"sweep #{sweep['id']} {sweep['uid']} "
+                  f"(git {sweep['git_sha'] or '?'}"
+                  + (f", {sweep['label']}" if sweep["label"] else "") + ")")
+            st = {k: sweep[k] for k in ("n_specs", "simulated", "cache_hits",
+                                        "retried", "timeouts", "skipped")}
+            print("  " + ", ".join(f"{v} {k}" for k, v in st.items() if v))
+            print(f"  wall {sweep['wall_s']:.2f}s, "
+                  f"{sweep['events']:,} events, "
+                  f"{sweep['workers']} worker(s)")
+            for run in store.runs_of(sweep["id"]):
+                wall = (f"{run['sim_wall_s']:6.2f}s"
+                        if run["sim_wall_s"] is not None else "     -")
+                print(f"  {run['outcome']:10s} {wall}  "
+                      f"x{run['attempts']}  {run['label']}"
+                      + (f"  [{run['error']}]" if run["error"] else ""))
+            return 0
+        # diff
+        try:
+            diff = store.diff(args.ref, args.baseline,
+                              wall_tol=args.wall_tol,
+                              metric_tol=args.metric_tol)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(diff.render())
+        return 1 if diff.has_regressions else 0
+
+
+def _cmd_history_export(args) -> int:
+    """profile_sweep --json record -> BENCH_trajectory.json entries."""
+    import json as _json
+
+    with open(args.record, encoding="utf-8") as fh:
+        record = _json.load(fh)
+    if not record.get("parity_ok", True):
+        print("error: benchmark record reports an engine parity failure — "
+              "refusing to export its numbers", file=sys.stderr)
+        return 1
+    entries = trajectory_entries(record, pr=args.pr, host=args.host)
+    if args.append:
+        added = append_trajectory(Path(args.append), entries)
+        print(f"trajectory: merged {added} entr"
+              f"{'y' if added == 1 else 'ies'} into {args.append}")
+    else:
+        print(_json.dumps(entries, indent=2))
     return 0
 
 
@@ -336,8 +499,16 @@ def _add_sweep_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="result-cache directory (default: "
                         "$REPRO_CACHE_DIR or .repro-cache)")
-    p.add_argument("--progress", action="store_true",
-                   help="live per-run progress line on stderr")
+    p.add_argument("--progress", nargs="?", const="auto", default=None,
+                   choices=["auto", "live", "plain", "none"],
+                   help="sweep progress on stderr: 'live' (multi-line ANSI "
+                        "view with per-worker heartbeats), 'plain' (one "
+                        "line per run — the non-TTY/CI fallback), 'auto' "
+                        "(live on a TTY, plain otherwise).  Bare "
+                        "--progress means auto")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable telemetry streaming/history recording "
+                        "(progress falls back to the legacy stderr line)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="kill and retry the worker pool if no run completes "
                         "for this long (default: wait forever)")
@@ -432,12 +603,66 @@ def build_parser() -> argparse.ArgumentParser:
                               "quarantining them")
     cache_p.set_defaults(fn=_cmd_cache)
 
-    obs_p = sub.add_parser("obs", help="observability reports")
-    obs_p.add_argument("action", choices=["report"])
+    obs_p = sub.add_parser("obs", help="observability reports and dashboard")
+    obs_p.add_argument("action", choices=["report", "dashboard"])
     obs_p.add_argument("--cache-dir", default=None)
     obs_p.add_argument("--top", type=int, default=8,
-                       help="show the N slowest runs (default: 8)")
+                       help="report: show the N slowest runs (default: 8)")
+    obs_p.add_argument("--sweep", default="last", metavar="REF",
+                       help="dashboard: sweep to render — 'last', "
+                            "'last-N', a history id, or a sweep-uid "
+                            "prefix (default: last)")
+    obs_p.add_argument("--out", default="dashboard.html", metavar="PATH",
+                       help="dashboard: output HTML path "
+                            "(default: dashboard.html)")
+    obs_p.add_argument("--trajectory", default=None, metavar="PATH",
+                       help="dashboard: BENCH_trajectory.json for the "
+                            "perf-trajectory sparklines (default: "
+                            "./BENCH_trajectory.json when present)")
+    obs_p.add_argument("--traces-dir", default=None, metavar="DIR",
+                       help="dashboard: link Perfetto traces found here")
     obs_p.set_defaults(fn=_cmd_obs)
+
+    hist_p = sub.add_parser(
+        "history", help="persistent run history and regression gates")
+    hist_sub = hist_p.add_subparsers(dest="action", required=True)
+    hlist_p = hist_sub.add_parser("list", help="recent sweeps, newest first")
+    hlist_p.add_argument("--limit", type=int, default=20)
+    hshow_p = hist_sub.add_parser("show", help="one sweep's runs")
+    hshow_p.add_argument("ref", nargs="?", default="last",
+                         help="'last', 'last-N', id, or uid prefix")
+    hdiff_p = hist_sub.add_parser(
+        "diff", help="gate a sweep against a baseline sweep "
+                     "(exit 1 on regression)")
+    hdiff_p.add_argument("ref", nargs="?", default="last",
+                         help="sweep under test (default: last)")
+    hdiff_p.add_argument("--baseline", default="last-1", metavar="REF",
+                         help="baseline sweep (default: last-1)")
+    hdiff_p.add_argument("--wall-tol", type=float, default=0.5,
+                         help="relative wall-time regression tolerance "
+                              "(default: 0.5 = flag >1.5x slower)")
+    hdiff_p.add_argument("--metric-tol", type=float, default=0.0,
+                         help="relative drift tolerance for deterministic "
+                              "outputs (default: 0 = bit-stable)")
+    hexp_p = hist_sub.add_parser(
+        "export-trajectory",
+        help="BENCH_trajectory.json entries from a profile_sweep --json "
+             "record")
+    hexp_p.add_argument("--record", required=True, metavar="PATH",
+                        help="benchmark record written by "
+                             "profile_sweep.py --json")
+    hexp_p.add_argument("--pr", type=int, required=True,
+                        help="PR number the measurement belongs to")
+    hexp_p.add_argument("--host", default="dev-container",
+                        help="host tag for the entries "
+                             "(default: dev-container)")
+    hexp_p.add_argument("--append", default=None, metavar="PATH",
+                        help="merge into this trajectory file instead of "
+                             "printing the entries")
+    for sp in (hlist_p, hshow_p, hdiff_p):
+        sp.add_argument("--cache-dir", default=None)
+    hexp_p.add_argument("--cache-dir", default=None)
+    hist_p.set_defaults(fn=_cmd_history)
 
     verify_p = sub.add_parser(
         "verify", help="property-based fuzzing and repro replay")

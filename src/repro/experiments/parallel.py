@@ -44,6 +44,7 @@ from ..faults import FaultConfig
 from ..hw.machines import get_machine
 from ..kernel.scheduler_core import KernelConfig
 from ..metrics.summary import RunResult
+from ..obs.telemetry.hub import TelemetryHub, worker_telemetry
 from ..workloads.catalog import make_workload
 from .cache import ResultCache, spec_key
 from .runner import run_experiment
@@ -92,22 +93,41 @@ class RunSpec:
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one spec to completion (this is the pool's worker function)."""
+    """Run one spec to completion (this is the pool's worker function).
+
+    When this process carries a telemetry emitter (pool workers get one
+    from :meth:`TelemetryHub.pool_init`; the parent gets one for
+    serial/degraded rounds), the run streams ``run_start`` / heartbeat /
+    ``run_end`` records back to the hub — purely observational, so the
+    result is bit-identical either way.
+    """
     _chaos_hook(spec)
-    workload = make_workload(spec.workload, scale=spec.scale)
-    return run_experiment(
-        workload,
-        get_machine(spec.machine),
-        spec.scheduler,
-        spec.governor,
-        seed=spec.seed,
-        nest_params=spec.nest_params,
-        record_trace=spec.record_trace,
-        max_us=spec.max_us,
-        kernel_config=spec.kernel_config,
-        faults=spec.faults,
-        engine=spec.engine,
-    )
+    telemetry = worker_telemetry()
+    if telemetry is not None:
+        telemetry.run_start(spec.label)
+    try:
+        workload = make_workload(spec.workload, scale=spec.scale)
+        result = run_experiment(
+            workload,
+            get_machine(spec.machine),
+            spec.scheduler,
+            spec.governor,
+            seed=spec.seed,
+            nest_params=spec.nest_params,
+            record_trace=spec.record_trace,
+            max_us=spec.max_us,
+            kernel_config=spec.kernel_config,
+            faults=spec.faults,
+            engine=spec.engine,
+            telemetry=telemetry,
+        )
+    except BaseException as exc:
+        if telemetry is not None:
+            telemetry.run_error(spec.label, exc)
+        raise
+    if telemetry is not None:
+        telemetry.run_end(result)
+    return result
 
 
 def _chaos_hook(spec: RunSpec) -> None:
@@ -228,6 +248,20 @@ def stderr_progress(done: int, total: int, spec: RunSpec,
     sys.stderr.flush()
 
 
+def _scalar_metrics(metrics: Dict[str, object]) -> Dict[str, float]:
+    """Scalar instruments (counters/gauges) of a serialized registry.
+
+    History rows and the dashboard plot these; histograms stay in the
+    cached result only.
+    """
+    out: Dict[str, float] = {}
+    for name, entry in metrics.items():
+        if isinstance(entry, dict) and entry.get("type") in ("counter",
+                                                             "gauge"):
+            out[name] = entry["value"]
+    return out
+
+
 class SweepFailure(RuntimeError):
     """A spec exhausted its retry budget (and ``skip_failures`` is off)."""
 
@@ -273,7 +307,8 @@ class SweepExecutor:
                  timeout_s: Optional[float] = None,
                  retries: int = 2,
                  backoff_s: float = 0.05,
-                 skip_failures: bool = False) -> None:
+                 skip_failures: bool = False,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.cache = cache
         self.progress = progress
@@ -281,6 +316,7 @@ class SweepExecutor:
         self.retries = max(0, retries)
         self.backoff_s = max(0.0, backoff_s)
         self.skip_failures = skip_failures
+        self.telemetry = telemetry
         self.last_stats = SweepStats()
         self._done = 0
         self._total = 0
@@ -299,6 +335,8 @@ class SweepExecutor:
         results: List[Optional[RunResult]] = [None] * n
         self._done = 0
         self._total = n
+        if self.telemetry is not None:
+            self.telemetry.open_sweep(n_specs=n, jobs=self.jobs)
 
         checkpoint_labels = self._checkpoint_labels()
         recovered = 0
@@ -316,11 +354,18 @@ class SweepExecutor:
                     misses.append(i)
         else:
             misses = list(range(n))
-        if self.progress is not None:
-            for i, res in enumerate(results):
-                if res is not None:
-                    self._done += 1
-                    self.progress(self._done, n, specs[i], res, True)
+        for i, res in enumerate(results):
+            if res is None:
+                continue
+            self._done += 1
+            if self.progress is not None:
+                self.progress(self._done, n, specs[i], res, True)
+            if self.telemetry is not None:
+                outcome = ("checkpoint"
+                           if specs[i].label in checkpoint_labels
+                           else "cached")
+                self.telemetry.run_done(specs[i].label, outcome,
+                                        self._done, n, result=res)
 
         state = _SweepState()
         try:
@@ -380,7 +425,12 @@ class SweepExecutor:
     def _pool_round(self, specs: List[RunSpec], todo: List[int],
                     results: List[Optional[RunResult]], state: _SweepState,
                     workers: int) -> List[int]:
-        pool = ProcessPoolExecutor(max_workers=workers)
+        initializer, initargs = (None, ())
+        if self.telemetry is not None:
+            initializer, initargs = self.telemetry.pool_init()
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=initializer,
+                                   initargs=initargs)
         try:
             futures = {pool.submit(execute_spec, specs[i]): i for i in todo}
             pending = set(futures)
@@ -468,6 +518,10 @@ class SweepExecutor:
                 retry.append(i)
             elif self.skip_failures:
                 state.skipped[i] = error
+                if self.telemetry is not None:
+                    self.telemetry.run_done(specs[i].label, "skipped",
+                                            self._done, self._total,
+                                            attempts=state.attempts.get(i, 0))
             else:
                 raise SweepFailure(
                     f"{specs[i].label} failed after "
@@ -488,6 +542,11 @@ class SweepExecutor:
         self._done += 1
         if self.progress is not None:
             self.progress(self._done, self._total, specs[i], res, False)
+        if self.telemetry is not None:
+            outcome = "retried" if i in state.retried else "simulated"
+            self.telemetry.run_done(
+                specs[i].label, outcome, self._done, self._total, result=res,
+                attempts=state.attempts.get(i, 0) + 1)
 
     # ------------------------------------------------------------------
     # Reporting / resume
@@ -528,22 +587,24 @@ class SweepExecutor:
             degraded=state.degraded,
             interrupted=interrupted,
         )
-        self._write_report(specs, results, misses, state,
-                           checkpoint_labels, interrupted)
+        runs = self._run_entries(specs, results, misses, state,
+                                 checkpoint_labels)
+        self._write_report(runs, interrupted)
+        if self.telemetry is not None:
+            self.telemetry.close_sweep(self.last_stats.as_dict(), runs,
+                                       interrupted=interrupted)
 
-    def _write_report(self, specs: List[RunSpec],
-                      results: List[Optional[RunResult]], misses: List[int],
-                      state: _SweepState, checkpoint_labels: frozenset,
-                      interrupted: bool) -> None:
-        """Persist the sweep's observability report (``repro obs report``).
+    def _run_entries(self, specs: List[RunSpec],
+                     results: List[Optional[RunResult]], misses: List[int],
+                     state: _SweepState,
+                     checkpoint_labels: frozenset) -> List[dict]:
+        """Per-run report entries (the sweep report and history rows).
 
         Each run records an ``outcome``: ``cached`` / ``checkpoint`` (a hit
         written by a previous interrupted sweep) / ``simulated`` /
         ``retried`` (simulated, needed >1 attempt) / ``skipped`` /
         ``pending`` (never ran — the sweep was interrupted first).
         """
-        if self.cache is None:
-            return
         missset = set(misses)
         runs = []
         for i, spec in enumerate(specs):
@@ -564,14 +625,28 @@ class SweepExecutor:
                 "outcome": outcome,
                 "cached": i not in missset,
                 "completed": res is not None,
+                "engine": spec.engine,
+                "seed": spec.seed,
+                "spec_key": spec_key(spec),
+                "attempts": state.attempts.get(i, 0)
+                + (1 if i in state.completed else 0),
             }
             if res is not None:
                 entry["sim_wall_s"] = res.sim_wall_s
                 entry["events_processed"] = res.events_processed
                 entry["makespan_us"] = res.makespan_us
+                entry["energy_j"] = res.energy_joules
+                entry["rss_peak_kb"] = res.rss_peak_kb
+                entry["metrics"] = _scalar_metrics(res.metrics)
             if i in state.skipped:
                 entry["error"] = state.skipped[i]
             runs.append(entry)
+        return runs
+
+    def _write_report(self, runs: List[dict], interrupted: bool) -> None:
+        """Persist the sweep's observability report (``repro obs report``)."""
+        if self.cache is None:
+            return
         try:
             self.cache.write_report("last-sweep", {
                 "stats": self.last_stats.as_dict(),

@@ -10,10 +10,13 @@ plotted in Figures 5-13.
 
 from __future__ import annotations
 
+import gc
+import os
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
 
 from ..core.nest import NestPolicy
 from ..core.params import DEFAULT_PARAMS, NestParams
@@ -89,6 +92,48 @@ def resolve_engine(engine: str) -> bool:
     return True
 
 
+def _gc_totals() -> Tuple[int, int]:
+    """(collections, objects collected) summed over all GC generations."""
+    stats = gc.get_stats()
+    return (sum(s.get("collections", 0) for s in stats),
+            sum(s.get("collected", 0) for s in stats))
+
+
+def _maybe_start_tracemalloc() -> bool:
+    """Start tracemalloc for this run iff ``$REPRO_TRACEMALLOC`` asks.
+
+    Off by default: tracing allocations costs 2-4x wall time, which would
+    poison every timing number in the sweep.  Returns True when *this*
+    call started tracing (and therefore owns stopping it).
+    """
+    if os.environ.get("REPRO_TRACEMALLOC", "") not in ("1", "true", "yes"):
+        return False
+    import tracemalloc
+    if tracemalloc.is_tracing():
+        return False
+    tracemalloc.start()
+    return True
+
+
+def _attach_memory_stats(result: RunResult, gc_base: Tuple[int, int],
+                         tracing_allocs: bool) -> None:
+    """Fill the host-side memory fields of a finished RunResult.
+
+    Reads only (``getrusage``, ``gc.get_stats``) — the simulation is
+    already over, and nothing here feeds back into engine state, so the
+    deterministic result surface is untouched.
+    """
+    from ..obs.telemetry.hub import rss_peak_kb
+    result.rss_peak_kb = rss_peak_kb()
+    collections, collected = _gc_totals()
+    result.gc_collections = collections - gc_base[0]
+    result.gc_collected = collected - gc_base[1]
+    if tracing_allocs:
+        import tracemalloc
+        result.alloc_peak_kb = tracemalloc.get_traced_memory()[1] // 1024
+        tracemalloc.stop()
+
+
 def make_governor(name: str) -> Governor:
     """Instantiate a power governor by short name."""
     key = name.lower()
@@ -113,6 +158,7 @@ def run_experiment(
     faults: Optional[FaultConfig] = None,
     policy_probe: Optional[Callable[[SelectionPolicy], None]] = None,
     engine: str = "ref",
+    telemetry: Optional[Any] = None,
 ) -> RunResult:
     """Run one simulation to completion and collect its measurements.
 
@@ -135,8 +181,18 @@ def run_experiment(
     backend in :mod:`repro.sim.fastengine`).  The two are bit-identical —
     same events, same metrics, same result — which is enforced by the
     dual-engine fuzz gate; ``ENGINE_VERSION`` covers both.
+
+    ``telemetry`` is a per-process
+    :class:`~repro.obs.telemetry.hub.WorkerTelemetry` emitter (installed
+    by the sweep executor's pool initializer); when present, a
+    wall-clock-gated heartbeat sink is piggybacked on the tracer so the
+    parent sees live sim-time progress.  The sink only *reads* engine
+    state — a telemetry-on run stays bit-identical to a telemetry-off
+    run.
     """
     wall_start = time.perf_counter()
+    gc_base = _gc_totals()
+    tracing_allocs = _maybe_start_tracemalloc()
     fast = resolve_engine(engine)
     if fast:
         from ..sim.fastengine import FastEngine, FastKernel, make_fast_policy
@@ -158,6 +214,8 @@ def run_experiment(
     kernel.runnable_observers.append(under.runnable_sink)
     fdist = FreqDistribution(machine)
     tracer.add_sink(fdist.segment_sink)
+    if telemetry is not None:
+        tracer.add_sink(telemetry.heartbeat_sink(engine))
 
     injector: Optional[FaultInjector] = None
     if faults is not None and faults.enabled:
@@ -198,6 +256,7 @@ def run_experiment(
         sim_wall_s=time.perf_counter() - wall_start,
         events_processed=engine.events_processed,
     )
+    _attach_memory_stats(result, gc_base, tracing_allocs)
     if injector is not None:
         result.extra["faults_injected"] = float(len(injector.plan))
     if record_trace:

@@ -1,6 +1,6 @@
 """Unified observability layer.
 
-Four pieces, designed to cost nothing when nobody is looking:
+Designed to cost nothing when nobody is looking.  Per-run pieces:
 
 * :mod:`repro.obs.events` — the typed, timestamped record vocabulary: one
   :class:`~repro.obs.events.SchedEvent` per scheduler decision (placement,
@@ -16,6 +16,19 @@ Four pieces, designed to cost nothing when nobody is looking:
 * :mod:`repro.obs.export` — exporters: Perfetto/Chrome ``trace_event``
   JSON (open it at https://ui.perfetto.dev), a JSONL event dump, and the
   plain-text summary behind ``repro trace``.
+
+Sweep-level pieces (see DESIGN.md §8):
+
+* :mod:`repro.obs.telemetry` — live worker→parent record streaming
+  (heartbeats, per-run summaries) over a multiprocessing queue, with a
+  crash-safe JSONL stream and live/plain progress views (``--progress``).
+* :mod:`repro.obs.history` — sqlite-backed run-history store behind the
+  ``repro history`` CLI: every completed sweep is recorded, ``history
+  diff`` gates wall-time and metric regressions, ``export-trajectory``
+  generates ``BENCH_trajectory.json`` entries.
+* :mod:`repro.obs.dashboard` — ``repro obs dashboard``: a self-contained
+  static HTML rendering of a sweep plus its history (stdlib only, inline
+  CSS/SVG, no scripts).
 """
 
 from .events import EVENT_KINDS, SchedEvent

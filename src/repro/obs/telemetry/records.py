@@ -1,0 +1,112 @@
+"""The sweep-telemetry record vocabulary.
+
+Every record is a flat JSON-able dict with three envelope fields —
+``"v"`` (schema version), ``"t"`` (record kind) and ``"ts"`` (wall-clock
+epoch seconds at emission) — plus the kind's payload.  Records flow from
+sweep workers over a multiprocessing queue into the parent's
+:class:`~repro.obs.telemetry.hub.TelemetryHub`, which appends them to a
+crash-safe JSONL stream; the dashboard and the live progress views are
+both consumers of this one vocabulary.
+
+Kinds
+-----
+
+``sweep_start``  parent   sweep id, spec count, worker count
+``run_start``    worker   a spec began executing (phase ``build``)
+``hb``           worker   periodic in-run heartbeat: sim-time progress,
+                          events processed, wall seconds, peak RSS
+``run_end``      worker   a simulation finished: wall/events/makespan,
+                          peak RSS and GC deltas, faults applied
+``run_error``    worker   a simulation raised (the error's repr)
+``run_done``     parent   sweep bookkeeping for one completed spec:
+                          outcome (cached/simulated/retried/skipped),
+                          done/total counters, attempts
+``sweep_end``    parent   final :class:`SweepStats` image, interrupted flag
+
+Workers and the parent interleave on the same queue, so consumers must
+tolerate out-of-order pairs (a parent ``run_done`` can overtake the
+worker's ``run_end`` for the same run).  Unknown kinds and unknown extra
+fields must be ignored by readers: the schema grows by addition only,
+and ``SCHEMA_VERSION`` is bumped when a field changes meaning.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, Optional, TextIO
+
+#: Bump when an existing field changes meaning (additions are free).
+SCHEMA_VERSION = 1
+
+#: Every record kind this schema version emits.
+RECORD_KINDS = frozenset({
+    "sweep_start", "run_start", "hb", "run_end", "run_error",
+    "run_done", "sweep_end",
+})
+
+#: Fields every record carries.
+ENVELOPE_FIELDS = ("v", "t", "ts")
+
+#: Required payload fields per kind (readers may rely on these existing).
+REQUIRED_FIELDS: Dict[str, tuple] = {
+    "sweep_start": ("sweep", "n_specs", "jobs"),
+    "run_start": ("run", "pid"),
+    "hb": ("run", "pid", "sim_us", "events", "wall_s"),
+    "run_end": ("run", "pid", "wall_s", "events", "makespan_us"),
+    "run_error": ("run", "error"),
+    "run_done": ("run", "outcome", "done", "total"),
+    "sweep_end": ("sweep", "stats", "interrupted"),
+}
+
+
+def make_record(kind: str, ts: Optional[float] = None,
+                **fields: Any) -> Dict[str, Any]:
+    """Build one telemetry record (envelope + payload)."""
+    if kind not in RECORD_KINDS:
+        raise ValueError(f"unknown telemetry record kind {kind!r}")
+    rec: Dict[str, Any] = {"v": SCHEMA_VERSION, "t": kind,
+                           "ts": time.time() if ts is None else ts}
+    rec.update(fields)
+    return rec
+
+
+def validate_record(rec: Dict[str, Any]) -> list:
+    """Schema problems of one record (empty list = valid)."""
+    problems = []
+    for f in ENVELOPE_FIELDS:
+        if f not in rec:
+            problems.append(f"missing envelope field {f!r}")
+    kind = rec.get("t")
+    if kind not in RECORD_KINDS:
+        problems.append(f"unknown kind {kind!r}")
+        return problems
+    for f in REQUIRED_FIELDS[kind]:
+        if f not in rec:
+            problems.append(f"{kind}: missing field {f!r}")
+    return problems
+
+
+def write_record(fh: TextIO, rec: Dict[str, Any]) -> None:
+    """Append one record as a JSONL line (caller owns flushing policy)."""
+    fh.write(json.dumps(rec, separators=(",", ":"), sort_keys=True))
+    fh.write("\n")
+
+
+def read_stream(fh: TextIO) -> Iterator[Dict[str, Any]]:
+    """Yield records from a JSONL telemetry stream.
+
+    Tolerates the crash-truncation the writer permits: a torn final line
+    (or any undecodable line) is skipped rather than raised, so a stream
+    left behind by an interrupted sweep is still fully readable.
+    """
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict):
+            yield rec

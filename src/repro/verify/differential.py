@@ -60,12 +60,14 @@ def canonical(result, machine_key: str,
               drop_extra: Tuple[str, ...] = ()) -> Dict[str, Any]:
     """A comparable image of a RunResult: everything deterministic.
 
-    ``sim_wall_s`` is host wall-clock and never comparable;
-    ``drop_extra`` removes ``extra`` keys one side legitimately lacks
-    (e.g. ``faults_injected`` when comparing clean vs faulted-empty).
+    ``sim_wall_s`` and the ``host`` memory block are host-side telemetry
+    and never comparable; ``drop_extra`` removes ``extra`` keys one side
+    legitimately lacks (e.g. ``faults_injected`` when comparing clean vs
+    faulted-empty).
     """
     data = result_to_jsonable(result, machine_key)
     data.pop("sim_wall_s", None)
+    data.pop("host", None)
     extra = data["extra"]
     for key in drop_extra:
         extra.pop(key, None)

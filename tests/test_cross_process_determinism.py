@@ -36,6 +36,7 @@ spec = RunSpec(workload="configure-gcc", machine="ryzen_4650g",
 result = execute_spec(spec)
 payload = result_to_jsonable(result, spec.machine)
 payload.pop("sim_wall_s")
+payload.pop("host")
 print(json.dumps({
     "key": spec_key(spec),
     "params_key": spec_key(RunSpec(workload="redis", machine="5218_2s",
@@ -59,6 +60,7 @@ def test_subprocess_matches_parent_and_is_hashseed_independent():
     parent_key = spec_key(spec)
     parent_payload = result_to_jsonable(execute_spec(spec), spec.machine)
     parent_payload.pop("sim_wall_s")
+    parent_payload.pop("host")
     parent_canonical = json.dumps(parent_payload, sort_keys=True)
 
     children = [_run_child(seed) for seed in ("0", "12345")]

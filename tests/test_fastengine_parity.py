@@ -48,6 +48,7 @@ def _image(result, machine_key):
     """Comparable RunResult image: everything deterministic."""
     data = result_to_jsonable(result, machine_key)
     data.pop("sim_wall_s", None)  # host wall-clock, never comparable
+    data.pop("host", None)        # host memory telemetry, ditto
     return data
 
 

@@ -12,6 +12,8 @@ Usage (installed as ``python -m repro`` or the ``nest-repro`` script)::
     python -m repro cache stats          # result-cache maintenance
     python -m repro obs report           # last sweep's observability report
     python -m repro obs dashboard        # self-contained HTML dashboard
+    python -m repro obs analyze fig2 --scale 0.3   # trace-analysis report
+    python -m repro obs query fig2 --kind place --cpu 3   # event queries
     python -m repro history list         # archived sweeps (sqlite-backed)
     python -m repro history diff last    # regression gate vs previous sweep
     python -m repro history export-trajectory --record perf.json --pr 7 \
@@ -198,6 +200,10 @@ def _cmd_trace(args) -> int:
 def _cmd_obs(args) -> int:
     if args.action == "dashboard":
         return _cmd_obs_dashboard(args)
+    if args.action == "analyze":
+        return _cmd_obs_analyze(args)
+    if args.action == "query":
+        return _cmd_obs_query(args)
     root = Path(args.cache_dir) if args.cache_dir else None
     cache = ResultCache(root)
     report = cache.read_report("last-sweep")
@@ -205,6 +211,10 @@ def _cmd_obs(args) -> int:
         print(f"no sweep report under {cache.root} — run a sweep or "
               f"compare first", file=sys.stderr)
         return 1
+    if getattr(args, "json", False):
+        import json as _json
+        print(_json.dumps(report, sort_keys=True, indent=2))
+        return 0
     st = report.get("stats", {})
     print(f"last sweep: {st.get('n_specs', 0)} runs, "
           f"{st.get('simulated', 0)} simulated, "
@@ -235,6 +245,122 @@ def _cmd_obs(args) -> int:
         print(f"  {src:10s} {run.get('sim_wall_s', 0.0):6.2f}s  "
               f"{run.get('events_processed', 0):>12,} ev  "
               f"{run.get('label', '?')}")
+    return 0
+
+
+def _analysis_events(args):
+    """The (result, events, segments, n_cpus) an analyze/query works on.
+
+    ``--events FILE`` analyzes a JSONL dump; otherwise the experiment's
+    reference run (or a bare workload name, like ``repro trace``) is
+    simulated with event collection on.
+    """
+    from ..obs.export import events_from_jsonl
+
+    if getattr(args, "events", None):
+        with open(args.events, encoding="utf-8") as fh:
+            events = events_from_jsonl(fh)
+        n_cpus = 1 + max((ev.cpu for ev in events if ev.cpu >= 0), default=-1)
+        return None, events, None, n_cpus
+
+    try:
+        exp = get_experiment(args.experiment)
+    except KeyError:
+        exp = None
+    if exp is not None:
+        spec = reference_spec(exp, seed=args.seed, scale=args.scale,
+                              machine=args.machine)
+        if spec is None:
+            raise ValueError(f"{args.experiment} has no traceable workload "
+                             f"(pure table entry)")
+    else:
+        from .parallel import RunSpec
+        make_workload(args.experiment)   # raises KeyError on bad names
+        spec = RunSpec(workload=args.experiment,
+                       machine=args.machine or "5218_2s",
+                       scheduler="nest", governor="schedutil",
+                       seed=args.seed, scale=args.scale, record_trace=True)
+    machine = get_machine(spec.machine)
+    res = run_experiment(make_workload(spec.workload, scale=spec.scale),
+                         machine, spec.scheduler, spec.governor,
+                         seed=spec.seed, record_trace=True,
+                         collect_events=True,
+                         engine=getattr(args, "engine", "ref"))
+    return res, res.events, res.trace_segments, machine.n_cpus
+
+
+def _cmd_obs_analyze(args) -> int:
+    """Replay a run's event log through the analyzers; print/save the
+    report (deterministic: byte-identical across engines and repeats)."""
+    from ..obs.analysis import (analyze_run, diff_reports,
+                                render_attribution, report_json, report_text)
+
+    if not args.experiment and not args.events:
+        print("error: give an experiment/workload or --events FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        result, events, segments, n_cpus = _analysis_events(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = analyze_run(result, events, n_cpus=n_cpus, segments=segments,
+                         warm_window_us=args.warm_window_us)
+    doc = report_json(report)
+    if args.out:
+        Path(args.out).write_text(doc, encoding="utf-8")
+    if args.json:
+        sys.stdout.write(doc)
+    else:
+        print(report_text(report))
+        if args.out:
+            print(f"report: {args.out} ({len(doc):,} bytes)")
+    if args.baseline:
+        import json as _json
+        try:
+            base = _json.loads(Path(args.baseline).read_text(
+                encoding="utf-8"))
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"error: baseline report unreadable: {exc}",
+                  file=sys.stderr)
+            return 2
+        diff = diff_reports(report, base, top=args.top_moves)
+        print()
+        print(render_attribution(
+            diff, cur_label="this run",
+            base_label=Path(args.baseline).name))
+    return 0
+
+
+def _cmd_obs_query(args) -> int:
+    """Filter a run's event log by kind/cpu/task/time range."""
+    import json as _json
+
+    from ..obs.analysis import EventFilter, filter_events, \
+        render_events_table
+    from ..obs.events import event_to_dict
+
+    if not args.experiment and not args.events:
+        print("error: give an experiment/workload or --events FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        _, events, _, _ = _analysis_events(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    flt = EventFilter(kinds=tuple(args.kind or ()), cpu=args.cpu,
+                      task=args.task, since_us=args.since,
+                      until_us=args.until)
+    matched = list(filter_events(events, flt))
+    shown = matched[:args.limit] if args.limit else matched
+    if args.json:
+        for ev in shown:
+            print(_json.dumps(event_to_dict(ev), sort_keys=True,
+                              separators=(",", ":")))
+    else:
+        print(render_events_table(shown, total=len(matched)))
+        print(f"{len(matched)} of {len(events)} event(s) matched")
     return 0
 
 
@@ -329,7 +455,9 @@ def _cmd_history(args) -> int:
         try:
             diff = store.diff(args.ref, args.baseline,
                               wall_tol=args.wall_tol,
-                              metric_tol=args.metric_tol)
+                              metric_tol=args.metric_tol,
+                              attribute=args.attribute,
+                              top_moves=args.top_moves)
         except KeyError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -603,24 +731,81 @@ def build_parser() -> argparse.ArgumentParser:
                               "quarantining them")
     cache_p.set_defaults(fn=_cmd_cache)
 
-    obs_p = sub.add_parser("obs", help="observability reports and dashboard")
-    obs_p.add_argument("action", choices=["report", "dashboard"])
-    obs_p.add_argument("--cache-dir", default=None)
-    obs_p.add_argument("--top", type=int, default=8,
-                       help="report: show the N slowest runs (default: 8)")
-    obs_p.add_argument("--sweep", default="last", metavar="REF",
-                       help="dashboard: sweep to render — 'last', "
-                            "'last-N', a history id, or a sweep-uid "
-                            "prefix (default: last)")
-    obs_p.add_argument("--out", default="dashboard.html", metavar="PATH",
-                       help="dashboard: output HTML path "
-                            "(default: dashboard.html)")
-    obs_p.add_argument("--trajectory", default=None, metavar="PATH",
-                       help="dashboard: BENCH_trajectory.json for the "
-                            "perf-trajectory sparklines (default: "
-                            "./BENCH_trajectory.json when present)")
-    obs_p.add_argument("--traces-dir", default=None, metavar="DIR",
-                       help="dashboard: link Perfetto traces found here")
+    obs_p = sub.add_parser(
+        "obs", help="observability: reports, dashboard, trace analysis")
+    obs_sub = obs_p.add_subparsers(dest="action", required=True)
+
+    oreport_p = obs_sub.add_parser(
+        "report", help="digest of the last sweep's observability report")
+    oreport_p.add_argument("--cache-dir", default=None)
+    oreport_p.add_argument("--top", type=int, default=8,
+                           help="show the N slowest runs (default: 8)")
+    oreport_p.add_argument("--json", action="store_true",
+                           help="print the full machine-readable report "
+                                "instead of the text digest")
+
+    odash_p = obs_sub.add_parser(
+        "dashboard", help="self-contained HTML dashboard of a sweep")
+    odash_p.add_argument("--cache-dir", default=None)
+    odash_p.add_argument("--sweep", default="last", metavar="REF",
+                         help="sweep to render — 'last', 'last-N', a "
+                              "history id, or a sweep-uid prefix "
+                              "(default: last)")
+    odash_p.add_argument("--out", default="dashboard.html", metavar="PATH",
+                         help="output HTML path (default: dashboard.html)")
+    odash_p.add_argument("--trajectory", default=None, metavar="PATH",
+                         help="BENCH_trajectory.json for the perf-"
+                              "trajectory sparklines (default: "
+                              "./BENCH_trajectory.json when present)")
+    odash_p.add_argument("--traces-dir", default=None, metavar="DIR",
+                         help="link Perfetto traces found here")
+
+    def _add_analysis_source(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("experiment", nargs="?", default=None,
+                        help="registry id (e.g. fig2) or workload name")
+        sp.add_argument("--events", default=None, metavar="JSONL",
+                        help="analyze this event dump (from `run "
+                             "--events`) instead of simulating")
+        sp.add_argument("--machine", default=None)
+        sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument("--scale", type=float, default=1.0)
+        sp.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    oana_p = obs_sub.add_parser(
+        "analyze",
+        help="replay a run's event log through the trace analyzers")
+    _add_analysis_source(oana_p)
+    _add_engine_option(oana_p)
+    oana_p.add_argument("--warm-window-us", type=int, default=1000,
+                        help="a dispatch counts as warm when its core "
+                             "was active within this window "
+                             "(default: 1000µs)")
+    oana_p.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the canonical JSON report here")
+    oana_p.add_argument("--baseline", default=None, metavar="REPORT.json",
+                        help="diff against a saved report: rank moved "
+                             "metrics and per-tier latency deltas")
+    oana_p.add_argument("--top-moves", type=int, default=3,
+                        help="baseline diff: metrics to rank "
+                             "(default: 3)")
+
+    oq_p = obs_sub.add_parser(
+        "query", help="filter a run's event log by kind/cpu/task/time")
+    _add_analysis_source(oq_p)
+    _add_engine_option(oq_p)
+    oq_p.add_argument("--kind", action="append", metavar="KIND",
+                      help="keep these kinds — exact (sched.dispatch) or "
+                           "prefix group (place); repeatable")
+    oq_p.add_argument("--cpu", type=int, default=None)
+    oq_p.add_argument("--task", type=int, default=None)
+    oq_p.add_argument("--since", type=int, default=None, metavar="US",
+                      help="keep events at or after this simulated µs")
+    oq_p.add_argument("--until", type=int, default=None, metavar="US",
+                      help="keep events at or before this simulated µs")
+    oq_p.add_argument("--limit", type=int, default=50,
+                      help="rows to print (default: 50; 0 = all)")
+
     obs_p.set_defaults(fn=_cmd_obs)
 
     hist_p = sub.add_parser(
@@ -644,6 +829,13 @@ def build_parser() -> argparse.ArgumentParser:
     hdiff_p.add_argument("--metric-tol", type=float, default=0.0,
                          help="relative drift tolerance for deterministic "
                               "outputs (default: 0 = bit-stable)")
+    hdiff_p.add_argument("--attribute", action="store_true",
+                         help="rank, per matched run, which metrics "
+                              "(incl. derived.* paper metrics) moved "
+                              "most vs the baseline")
+    hdiff_p.add_argument("--top-moves", type=int, default=3,
+                         help="attribution: metrics to rank per run "
+                              "(default: 3)")
     hexp_p = hist_sub.add_parser(
         "export-trajectory",
         help="BENCH_trajectory.json entries from a profile_sweep --json "

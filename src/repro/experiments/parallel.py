@@ -262,6 +262,22 @@ def _scalar_metrics(metrics: Dict[str, object]) -> Dict[str, float]:
     return out
 
 
+def _history_metrics(metrics: Dict[str, object]) -> Dict[str, float]:
+    """What a history row records: raw scalars plus the ``derived.*``
+    paper metrics (wakeup percentiles, tier shares).
+
+    Derived metrics are computed parent-side from the already serialized
+    registry — strictly post-hoc, nothing moves in the simulation — and
+    are gated by ``repro history diff`` exactly like counters (rows
+    from before the analysis layer simply lack the keys, which the
+    gate's key intersection skips).
+    """
+    from ..obs.analysis.report import derived_metrics
+    out = _scalar_metrics(metrics)
+    out.update(derived_metrics(metrics))
+    return out
+
+
 class SweepFailure(RuntimeError):
     """A spec exhausted its retry budget (and ``skip_failures`` is off)."""
 
@@ -637,7 +653,7 @@ class SweepExecutor:
                 entry["makespan_us"] = res.makespan_us
                 entry["energy_j"] = res.energy_joules
                 entry["rss_peak_kb"] = res.rss_peak_kb
-                entry["metrics"] = _scalar_metrics(res.metrics)
+                entry["metrics"] = _history_metrics(res.metrics)
             if i in state.skipped:
                 entry["error"] = state.skipped[i]
             runs.append(entry)

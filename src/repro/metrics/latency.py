@@ -2,21 +2,14 @@
 
 from __future__ import annotations
 
-import math
-from typing import List, Sequence
+from typing import List
 
+# The shared nearest-rank implementation (metrics/quantiles.py) — the
+# obs histogram quantiles use the same rank math, and a property test
+# pins their agreement.
+from .quantiles import percentile
 
-def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100])."""
-    if not values:
-        raise ValueError("empty sample")
-    if not 0 <= p <= 100:
-        raise ValueError("percentile out of range")
-    ordered = sorted(values)
-    if p == 0:
-        return ordered[0]
-    rank = math.ceil(p / 100.0 * len(ordered))
-    return ordered[min(len(ordered), rank) - 1]
+__all__ = ["percentile", "LatencyRecorder"]
 
 
 class LatencyRecorder:

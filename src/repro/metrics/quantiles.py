@@ -1,0 +1,61 @@
+"""Nearest-rank quantile math, shared by every percentile in the repo.
+
+Two consumers used to carry their own copies: the schbench-style
+:func:`~repro.metrics.latency.percentile` over raw samples, and the
+trace-analysis quantiles over :class:`~repro.obs.metrics.Histogram`
+buckets.  Both now route through :func:`nearest_rank`, so "p99" means
+the same observation everywhere — and a property test pins that a raw
+sample and its histogram agree whenever the histogram's edges can
+represent the sample exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+
+def nearest_rank(n: int, p: float) -> int:
+    """The 1-based nearest-rank index into a sorted sample of size ``n``.
+
+    ``p`` is a percentile in [0, 100]; p=0 maps to the minimum (rank 1)
+    and p=100 to the maximum (rank n), per the classic nearest-rank
+    definition ``ceil(p/100 * n)``.
+    """
+    if n <= 0:
+        raise ValueError("empty sample")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile out of range")
+    # max(1, ...) also covers p so small that p/100*n underflows to 0.
+    return min(n, max(1, math.ceil(p / 100.0 * n)))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of a raw sample (p in [0, 100])."""
+    if not values:
+        raise ValueError("empty sample")
+    ordered = sorted(values)
+    return ordered[nearest_rank(len(ordered), p) - 1]
+
+
+def histogram_quantile(edges: Sequence[int], counts: Sequence[int],
+                       p: float) -> Optional[int]:
+    """Nearest-rank quantile of a fixed-bucket histogram.
+
+    ``edges`` are inclusive upper bounds and ``counts`` has one extra
+    trailing overflow bucket (the :class:`~repro.obs.metrics.Histogram`
+    layout).  Returns the upper edge of the bucket holding the
+    nearest-rank observation — the tightest bound the histogram can
+    give — or ``None`` when the histogram is empty or the rank lands in
+    the unbounded overflow bucket.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = nearest_rank(total, p)
+    acc = 0
+    for edge, count in zip(edges, counts):
+        acc += count
+        if acc >= rank:
+            return edge
+    return None

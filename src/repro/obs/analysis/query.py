@@ -1,0 +1,65 @@
+"""Event-log querying: filter by kind/cpu/task/time, render as a table.
+
+The ``repro obs query`` backend.  Filtering is a pure generator over the
+event sequence, so querying composes with any event source (a live run,
+a JSONL dump).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..events import SchedEvent
+
+
+@dataclass(frozen=True)
+class EventFilter:
+    """Which events a query keeps (``None`` = no constraint).
+
+    ``kinds`` entries match exactly (``sched.dispatch``) or as a
+    dot-terminated prefix group (``place`` matches every ``place.*``).
+    """
+
+    kinds: Tuple[str, ...] = ()
+    cpu: Optional[int] = None
+    task: Optional[int] = None
+    since_us: Optional[int] = None
+    until_us: Optional[int] = None
+
+    def matches(self, ev: SchedEvent) -> bool:
+        if self.kinds and not any(
+                ev.kind == k or ev.kind.startswith(k + ".")
+                for k in self.kinds):
+            return False
+        if self.cpu is not None and ev.cpu != self.cpu:
+            return False
+        if self.task is not None and ev.task != self.task:
+            return False
+        if self.since_us is not None and ev.t < self.since_us:
+            return False
+        if self.until_us is not None and ev.t > self.until_us:
+            return False
+        return True
+
+
+def filter_events(events: Iterable[SchedEvent],
+                  flt: EventFilter) -> Iterator[SchedEvent]:
+    return (ev for ev in events if flt.matches(ev))
+
+
+def render_events_table(events: Sequence[SchedEvent],
+                        total: Optional[int] = None) -> str:
+    """A plain aligned table of events (the non-``--json`` output)."""
+    lines: List[str] = [f"{'t(µs)':>12}  {'kind':20} {'cpu':>5} "
+                        f"{'task':>6} {'value':>8}"]
+    for ev in events:
+        cpu = str(ev.cpu) if ev.cpu >= 0 else "-"
+        task = str(ev.task) if ev.task >= 0 else "-"
+        lines.append(f"{ev.t:>12,}  {ev.kind:20} {cpu:>5} "
+                     f"{task:>6} {ev.value:>8}")
+    shown = len(events)
+    if total is not None and total > shown:
+        lines.append(f"... {total - shown} more matching event(s) "
+                     f"(raise --limit)")
+    return "\n".join(lines)

@@ -272,6 +272,67 @@ def _runs_section(runs: List[Dict[str, Any]]) -> str:
             '</tr></thead><tbody>' + "".join(rows) + "</tbody></table>")
 
 
+#: Placement tier -> stacked-bar color (analysis panel).
+TIER_COLORS = (
+    ("share_attach", "#2f9e44"),
+    ("share_primary", "#1971c2"),
+    ("share_reserve", "#7048e8"),
+    ("share_impatient", "#e8930c"),
+    ("share_cfs", "#e03131"),
+)
+
+
+def _tier_bar(metrics: Dict[str, Any]) -> str:
+    """A stacked placement-tier share bar from a run's derived metrics."""
+    spans = []
+    for name, color in TIER_COLORS:
+        share = metrics.get(f"derived.{name}")
+        if not share:
+            continue
+        spans.append(f'<span title="{_esc(name[6:])}: {share:.1%}" '
+                     f'style="display:inline-block;width:{share * 100:.2f}%;'
+                     f'height:100%;background:{color}"></span>')
+    if not spans:
+        return '<span class="muted">—</span>'
+    return f'<div class="bar" style="height:.8rem">{"".join(spans)}</div>'
+
+
+def _analysis_section(runs: List[Dict[str, Any]]) -> str:
+    """Derived paper metrics per run (trace-analysis layer).
+
+    Fed by the ``derived.*`` scalars the sweep parent computes from each
+    run's metrics registry; sweeps archived before the analysis layer
+    have no derived keys and fall back to the muted notice.
+    """
+    rows = []
+    for run in runs:
+        m = run.get("metrics") or {}
+        if not any(k.startswith("derived.") for k in m):
+            continue
+        p50 = m.get("derived.wakeup_p50_us")
+        p99 = m.get("derived.wakeup_p99_us")
+        warm = m.get("derived.warm_share")
+        rows.append(
+            "<tr>"
+            f'<td><code>{_esc(run["label"])}</code></td>'
+            f'<td>{f"≤{p50:g}" if p50 is not None else "—"}</td>'
+            f'<td>{f"≤{p99:g}" if p99 is not None else "—"}</td>'
+            f'<td>{f"{warm:.1%}" if warm is not None else "—"}</td>'
+            f"<td>{_tier_bar(m)}</td>"
+            "</tr>")
+    if not rows:
+        return ('<p class="muted">no derived metrics recorded '
+                '(sweep predates the trace-analysis layer)</p>')
+    legend = " ".join(
+        f'<span class="chip" style="background:{color}">'
+        f'{_esc(name[6:])}</span>' for name, color in TIER_COLORS)
+    return ('<table><thead><tr><th>run</th><th>wakeup p50 (µs)</th>'
+            '<th>wakeup p99 (µs)</th><th>warm share</th>'
+            '<th>placement tiers</th></tr></thead><tbody>'
+            + "".join(rows) + "</tbody></table>"
+            + f"<p>{legend}</p>")
+
+
 def _history_section(store: HistoryStore, limit: int = 30) -> str:
     sweeps = list(reversed(store.sweeps(limit=limit)))
     if len(sweeps) < 2:
@@ -369,6 +430,8 @@ def render_dashboard(sweep: Dict[str, Any], runs: List[Dict[str, Any]],
 {_summary_section(sweep, runs)}
 <h2>Runs</h2>
 {_runs_section(runs)}
+<h2>Analysis</h2>
+{_analysis_section(runs)}
 <h2>Worker timeline</h2>
 {_timeline_svg(records)}
 <h2>History</h2>

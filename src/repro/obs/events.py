@@ -113,3 +113,33 @@ PRIMARY_REMOVE_KINDS = frozenset({NEST_COMPACT, NEST_EXIT_DEMOTE})
 #: Placement commit kinds (the kernel accepted the policy's choice and
 #: recorded the core in the task's §3.3 attachment history).
 COMMIT_KINDS = frozenset({SCHED_FORK, SCHED_WAKEUP})
+
+#: Short tier names of the placement kinds, in presentation order
+#: (``place.attach`` -> ``attach`` ...).  Analysis reports key latency
+#: breakdowns on these.
+PLACEMENT_TIERS = tuple(k.split(".", 1)[1] for k in PLACEMENT_KINDS)
+
+#: Tier label for dispatches with no preceding ``place.*`` event — pure
+#: CFS runs emit none (the CFS scheduler is not instrumented with
+#: placement tiers), so their latency lands here.
+UNATTRIBUTED_TIER = "unattributed"
+
+
+def placement_tier(kind: str) -> "str | None":
+    """The short tier name of a placement kind (``None`` otherwise)."""
+    if kind in PLACEMENT_KINDS:
+        return kind.split(".", 1)[1]
+    return None
+
+
+def event_to_dict(ev: SchedEvent) -> dict:
+    """The JSONL-dump representation of one event (stable field names)."""
+    return {"t": ev.t, "kind": ev.kind, "cpu": ev.cpu,
+            "task": ev.task, "value": ev.value}
+
+
+def event_from_dict(d: dict) -> SchedEvent:
+    """Rebuild a :class:`SchedEvent` from its JSONL-dump representation."""
+    return SchedEvent(t=int(d["t"]), kind=str(d["kind"]),
+                      cpu=int(d.get("cpu", -1)), task=int(d.get("task", -1)),
+                      value=int(d.get("value", 0)))

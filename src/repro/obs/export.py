@@ -20,7 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
 from ..sim.trace import Segment
 from .events import (EVENT_KINDS, FAULT_KINDS, FREQ_STEP,
                      NEST_TRANSITION_KINDS, PLACEMENT_KINDS, SPIN_START,
-                     SchedEvent)
+                     SchedEvent, event_from_dict, event_to_dict)
 
 #: pid of each synthetic "process" (Perfetto process-track grouping).
 PID_CORES = 0
@@ -153,12 +153,33 @@ def events_to_jsonl(events: Iterable[SchedEvent], fh: TextIO) -> int:
     """Write one JSON object per event; returns the number written."""
     n = 0
     for ev in events:
-        fh.write(json.dumps({"t": ev.t, "kind": ev.kind, "cpu": ev.cpu,
-                             "task": ev.task, "value": ev.value},
+        fh.write(json.dumps(event_to_dict(ev),
                             sort_keys=True, separators=(",", ":")))
         fh.write("\n")
         n += 1
     return n
+
+
+def events_from_jsonl(fh: TextIO) -> List[SchedEvent]:
+    """Read a JSONL event dump back into :class:`SchedEvent` records.
+
+    Unlike the crash-tolerant telemetry reader, an event dump is written
+    atomically by :func:`events_to_jsonl`, so a malformed line means the
+    file is not an event dump — raise with the line number rather than
+    silently analyzing half a log.
+    """
+    out: List[SchedEvent] = []
+    for lineno, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+            out.append(event_from_dict(rec))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"line {lineno}: not an event record ({exc})") from None
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -130,6 +130,8 @@ class HistoryDiff:
     baseline: Dict[str, Any]
     regressions: List[Regression] = field(default_factory=list)
     improvements: List[str] = field(default_factory=list)
+    #: Per-run "what moved most" summaries (``diff(attribute=True)``).
+    attributions: List[str] = field(default_factory=list)
     compared: int = 0
 
     @property
@@ -146,6 +148,8 @@ class HistoryDiff:
             lines.append(f"  improved   {imp}")
         if not self.regressions:
             lines.append("  no regressions")
+        for attr in self.attributions:
+            lines.append(f"  {attr}")
         return "\n".join(lines)
 
 
@@ -278,16 +282,24 @@ class HistoryStore:
     # -- regression gate -------------------------------------------------
 
     def diff(self, current_ref: str = "last", baseline_ref: str = "last-1",
-             wall_tol: float = 0.5, metric_tol: float = 0.0) -> HistoryDiff:
+             wall_tol: float = 0.5, metric_tol: float = 0.0,
+             attribute: bool = False, top_moves: int = 3) -> HistoryDiff:
         """Compare two archived sweeps run-by-run.
 
         Runs are matched on ``spec_key`` (falling back to label).  A run
         that *simulated* on both sides gates on wall time:
         ``current > baseline * (1 + wall_tol)`` is a regression (cached
         hits are skipped — they replay the producing run's wall time).
-        Deterministic outputs (makespan, energy, scalar metrics) gate at
-        ``metric_tol`` relative drift **whenever both sides completed**,
-        cached or not: those must not move unless the engine version did.
+        Deterministic outputs (makespan, energy, scalar metrics — which
+        since the analysis layer include the ``derived.*`` paper
+        metrics) gate at ``metric_tol`` relative drift **whenever both
+        sides completed**, cached or not: those must not move unless the
+        engine version did.
+
+        ``attribute=True`` additionally ranks, per matched run, the
+        ``top_moves`` metrics that moved most relative to the baseline
+        (the history-level cross-run attribution; ``repro obs analyze
+        --baseline`` gives the deeper per-tier latency attribution).
         """
         cur = self.resolve(current_ref)
         base = self.resolve(baseline_ref)
@@ -323,7 +335,30 @@ class HistoryStore:
                         f"{run['sim_wall_s']:.3f}s ({ratio:.2f}x)")
             if run["completed"] and other["completed"]:
                 self._gate_metrics(diff, label, run, other, metric_tol)
+                if attribute:
+                    self._attribute(diff, label, run, other, top_moves)
         return diff
+
+    @staticmethod
+    def _attribute(diff: HistoryDiff, label: str, run: Dict[str, Any],
+                   other: Dict[str, Any], top_moves: int) -> None:
+        """Rank which metrics moved most between two matched runs."""
+        from .analysis.diff import rank_moves
+
+        def flat(r: Dict[str, Any]) -> Dict[str, float]:
+            out = {k: v for k, v in (r.get("metrics") or {}).items()
+                   if isinstance(v, (int, float))}
+            for scalar in ("makespan_us", "energy_j"):
+                if r.get(scalar) is not None:
+                    out[scalar] = r[scalar]
+            return out
+
+        moves = rank_moves(flat(run), flat(other), top=top_moves)
+        if not moves:
+            diff.attributions.append(f"{label}: no metric moved")
+            return
+        detail = "; ".join(m.render() for m in moves)
+        diff.attributions.append(f"{label}: moved most — {detail}")
 
     @staticmethod
     def _gate_metrics(diff: HistoryDiff, label: str, run: Dict[str, Any],

@@ -79,6 +79,16 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, p: float) -> Optional[int]:
+        """Nearest-rank quantile as a bucket upper edge.
+
+        Shares rank math with :func:`repro.metrics.quantiles.percentile`
+        (a property test pins the agreement).  ``None`` when the
+        histogram is empty or the rank falls in the overflow bucket.
+        """
+        from ..metrics.quantiles import histogram_quantile
+        return histogram_quantile(self.edges, self.counts, p)
+
     def bucket_labels(self) -> List[str]:
         labels = [f"<={e}" for e in self.edges]
         labels.append(f">{self.edges[-1]}")

@@ -143,6 +143,22 @@ def _make_checker(diff_names: set) -> Callable[[Scenario], List[Violation]]:
     return run_checks
 
 
+def _shrunk_analysis(scenario: Scenario) -> Optional[Dict[str, Any]]:
+    """Trace-analysis digest of the shrunk failing run, for the repro.
+
+    Costs one extra (small, already-shrunk) simulation per failure and
+    never blocks the repro: a crashing scenario — which has no event
+    log to analyze — simply yields no digest.
+    """
+    from ..obs.analysis import analysis_digest, analyze_run
+    art = run_scenario(scenario, probe=False)
+    if art.result is None:
+        return None
+    report = analyze_run(art.result, art.events,
+                         n_cpus=art.machine.n_cpus)
+    return analysis_digest(report)
+
+
 def fuzz(config: FuzzConfig, log: Optional[LogFn] = None) -> FuzzReport:
     """Run one fuzz campaign; deterministic for a given config."""
     say = log or (lambda _msg: None)
@@ -189,7 +205,8 @@ def fuzz(config: FuzzConfig, log: Optional[LogFn] = None) -> FuzzReport:
             failure.repro_path = save_repro(
                 path, small, small_violations,
                 origin={"base_seed": config.base_seed, "index": i,
-                        "unshrunk_scenario": scenario.to_dict()})
+                        "unshrunk_scenario": scenario.to_dict()},
+                analysis=_shrunk_analysis(small))
             say(f"[{i}]   repro written to {path}")
 
         report.failures.append(failure)

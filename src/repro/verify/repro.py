@@ -29,8 +29,16 @@ def save_repro(
     scenario: Scenario,
     violations: List[Violation],
     origin: Optional[Dict[str, Any]] = None,
+    analysis: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Write a replayable repro document for a failing scenario."""
+    """Write a replayable repro document for a failing scenario.
+
+    ``analysis`` is an optional trace-analysis digest of the failing
+    run (see :func:`repro.obs.analysis.analysis_digest`): it records
+    what the run *looked like* — latency percentiles, warm fraction,
+    a sha256 of the full report — so a repro remains interpretable
+    after the bug is fixed and the failure no longer reproduces.
+    """
     payload = {
         "format": FORMAT,
         "scenario": scenario.to_dict(),
@@ -38,6 +46,8 @@ def save_repro(
         "violations": [v.to_dict() for v in violations],
         "origin": origin or {},
     }
+    if analysis is not None:
+        payload["analysis"] = analysis
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_json(path, payload, indent=2, sort_keys=True)

@@ -149,6 +149,25 @@ class TestObservabilityCli:
         assert "last sweep: 4 runs" in out
         assert "cache: 0 hit(s), 4 miss(es)" in out
 
+    def test_obs_report_json(self, tmp_path, capsys):
+        import json as _json
+        cache_dir = str(tmp_path / "cache")
+        rc = main(["compare", "--workload", "configure-gcc",
+                   "--machine", "ryzen_4650g", "--seeds", "1",
+                   "--scale", "0.3", "--jobs", "1",
+                   "--cache-dir", cache_dir, "--progress"])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["stats"]["n_specs"] == 4
+        assert len(report["runs"]) == 4
+        # sort_keys canonicalization: a second read emits the same doc.
+        assert main(["obs", "report", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        assert _json.loads(capsys.readouterr().out) == report
+
     def test_sweep_summary_shows_cache_counters(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         args = ["compare", "--workload", "configure-gcc",

@@ -117,6 +117,27 @@ class TestBuildDashboard:
         assert "Perf trajectory" in html_text
         assert "PR1" in html_text or "PR6" in html_text
 
+    def test_analysis_panel_renders_derived_metrics(self, swept):
+        html_text = build_dashboard(swept / "cache" / "history.sqlite",
+                                    "last-1")
+        assert "<h2>Analysis</h2>" in html_text
+        assert "warm share" in html_text
+        assert "wakeup p99" in html_text
+        # The nest run's placement-tier stacked bar with its legend.
+        assert "placement tiers" in html_text
+        assert "attach" in html_text and "cfs" in html_text
+
+    def test_analysis_panel_degrades_without_derived_metrics(self, tmp_path):
+        # A pre-analysis-layer sweep: rows with no derived.* keys.
+        with HistoryStore(tmp_path / "h.sqlite") as st:
+            st.record_sweep("u1", {"n_specs": 1, "simulated": 1}, [
+                {"label": "old", "outcome": "simulated", "cached": False,
+                 "completed": True, "sim_wall_s": 1.0,
+                 "metrics": {"kernel.wakeups": 3}}])
+        html_text = build_dashboard(tmp_path / "h.sqlite")
+        assert "<h2>Analysis</h2>" in html_text
+        assert "no derived metrics recorded" in html_text
+
     def test_labels_are_escaped(self, tmp_path):
         with HistoryStore(tmp_path / "h.sqlite") as st:
             st.record_sweep("u1", {"n_specs": 1, "simulated": 1}, [

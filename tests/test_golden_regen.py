@@ -11,6 +11,7 @@ import sys
 from pathlib import Path
 
 import golden_regen
+from test_obs_analysis import ANALYSIS_GOLDEN_PATH
 from test_obs_export import GOLDEN_PATH
 
 REPO = Path(__file__).resolve().parent.parent
@@ -19,6 +20,16 @@ REPO = Path(__file__).resolve().parent.parent
 def test_regenerate_matches_checked_in_golden(tmp_path):
     out = golden_regen.regenerate(tmp_path / "regen.json")
     assert out.read_bytes() == GOLDEN_PATH.read_bytes()
+
+
+def test_regenerate_analysis_matches_checked_in_golden(tmp_path):
+    out = golden_regen.regenerate_analysis(tmp_path / "analysis.json")
+    assert out.read_bytes() == ANALYSIS_GOLDEN_PATH.read_bytes()
+
+
+def test_analysis_default_path_is_the_pinned_golden():
+    assert ANALYSIS_GOLDEN_PATH.exists()
+    assert ANALYSIS_GOLDEN_PATH.name == "golden_analysis.json"
 
 
 def test_regen_script_cli_matches_golden(tmp_path):

@@ -293,3 +293,78 @@ class TestTrajectoryExport:
         assert main(["history", "export-trajectory",
                      "--record", str(record_path), "--pr", "7"]) == 1
         assert "parity" in capsys.readouterr().err
+
+
+class TestDerivedMetricGate:
+    """The analysis layer's history hook: ``derived.*`` scalars are
+    gated like raw counters and drive ``--attribute`` ranking."""
+
+    DERIVED = {"kernel.wakeups": 10, "derived.wakeup_p99_us": 100,
+               "derived.warm_share": 0.9}
+
+    def _two_sweeps(self, store, cur_metrics):
+        store.record_sweep("base", STATS,
+                           [run_row("a", "k1", metrics=dict(self.DERIVED))])
+        store.record_sweep("cur", STATS,
+                           [run_row("a", "k1", metrics=cur_metrics)])
+
+    def test_derived_drift_is_a_metric_regression(self, store):
+        moved = dict(self.DERIVED, **{"derived.warm_share": 0.5})
+        self._two_sweeps(store, moved)
+        diff = store.diff()
+        assert [r.kind for r in diff.regressions] == ["metric"]
+        assert "derived.warm_share" in diff.regressions[0].detail
+
+    def test_rows_without_derived_keys_are_skipped(self, store):
+        # Pre-analysis-layer history rows: the key intersection protects
+        # them from spurious "metric disappeared" regressions.
+        self._two_sweeps(store, {"kernel.wakeups": 10})
+        assert not store.diff().has_regressions
+
+    def test_attribute_ranks_the_biggest_mover(self, store):
+        moved = dict(self.DERIVED, **{"derived.wakeup_p99_us": 500,
+                                      "kernel.wakeups": 11})
+        self._two_sweeps(store, moved)
+        diff = store.diff(attribute=True, top_moves=2)
+        assert len(diff.attributions) == 1
+        attr = diff.attributions[0]
+        # p99 moved 4x, wakeups 10%: p99 must lead the ranking.
+        assert attr.startswith("a: moved most — derived.wakeup_p99_us")
+        assert "100 -> 500 (+400.0%)" in attr
+        assert attr in diff.render()
+
+    def test_attribute_on_identical_runs_says_so(self, store):
+        self._two_sweeps(store, dict(self.DERIVED))
+        diff = store.diff(attribute=True)
+        assert diff.attributions == ["a: no metric moved"]
+
+    def test_cli_gates_on_derived_drift(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir(parents=True)
+        with HistoryStore(cache_dir / "history.sqlite") as st:
+            st.record_sweep("base", STATS,
+                            [run_row("a", "k1",
+                                     metrics=dict(self.DERIVED))])
+            st.record_sweep("cur", STATS, [
+                run_row("a", "k1",
+                        metrics=dict(self.DERIVED,
+                                     **{"derived.wakeup_p99_us": 200}))])
+        rc = main(["history", "diff", "--cache-dir", str(cache_dir),
+                   "--attribute"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[metric]" in out and "derived.wakeup_p99_us" in out
+        assert "moved most" in out
+
+    def test_sweep_rows_carry_derived_metrics(self, tmp_path):
+        spec = RunSpec(workload="configure-gcc", machine="ryzen_4650g",
+                       scheduler="nest", governor="schedutil", seed=1,
+                       scale=0.3)
+        cache = ResultCache(root=tmp_path / "cache")
+        with HistoryStore(tmp_path / "history.sqlite") as hist:
+            hub = TelemetryHub(history=hist)
+            SweepExecutor(jobs=1, cache=cache, telemetry=hub).run([spec])
+            metrics = hist.runs_of(hist.sweeps()[0]["id"])[0]["metrics"]
+        derived = {k for k in metrics if k.startswith("derived.")}
+        assert {"derived.wakeup_p50_us", "derived.warm_share",
+                "derived.share_cfs"} <= derived

@@ -29,3 +29,15 @@ def test_repro_replays_clean(path):
     assert violations == [], (
         f"{path.name} reproduces again: "
         + "; ".join(str(v) for v in violations[:5]))
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=lambda p: p.stem)
+def test_repro_analysis_digest_well_formed(path):
+    """Corpus repros carry a trace-analysis digest of the shrunk run,
+    keeping them interpretable after the bug is fixed."""
+    data = load_repro(path)
+    digest = data.get("analysis")
+    assert digest is not None, f"{path.name} has no analysis digest"
+    assert digest["analysis_version"] >= 1
+    assert len(digest["sha256"]) == 64
+    assert isinstance(digest["summary"], dict) and digest["summary"]

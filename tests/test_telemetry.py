@@ -84,6 +84,43 @@ class TestRecords:
         back = list(read_stream(stream))
         assert len(back) == 1 and back[0]["t"] == "sweep_end"
 
+    def test_truncated_line_mid_file_recovers(self):
+        # A worker killed mid-write with the sweep carrying on: the torn
+        # line sits between valid records and must not eat its neighbors.
+        recs = [make_record("run_start", run="a", pid=1, ts=1.0),
+                make_record("run_done", run="a", outcome="simulated",
+                            done=1, total=2, ts=2.0)]
+        buf = io.StringIO()
+        write_record(buf, recs[0])
+        buf.write('{"t": "hb", "run": "a", "sim_us": 12')   # no close, no \n?
+        buf.write("\n")
+        write_record(buf, recs[1])
+        buf.seek(0)
+        assert list(read_stream(buf)) == recs
+
+    def test_garbage_burst_mid_file_recovers(self):
+        recs = [make_record("run_start", run="a", pid=1, ts=1.0),
+                make_record("run_start", run="b", pid=2, ts=2.0)]
+        buf = io.StringIO()
+        write_record(buf, recs[0])
+        buf.write("\x00\x00binary junk\x00\n42\nnull\n\"str\"\n")
+        write_record(buf, recs[1])
+        buf.seek(0)
+        assert list(read_stream(buf)) == recs
+
+    def test_interleaved_valid_and_torn_lines(self):
+        # Every other line torn: all valid records still come back, in
+        # order, with nothing invented.
+        recs = [make_record("hb", run=f"r{i}", pid=i, sim_us=i * 10,
+                            events=i, wall_s=0.1, ts=float(i))
+                for i in range(5)]
+        buf = io.StringIO()
+        for rec in recs:
+            write_record(buf, rec)
+            buf.write('{"t": "hb", "tor\n')
+        buf.seek(0)
+        assert list(read_stream(buf)) == recs
+
 
 # ---------------------------------------------------------------------------
 # Progress views

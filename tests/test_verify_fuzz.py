@@ -172,6 +172,11 @@ def test_fuzz_reports_and_shrinks_failures(tmp_path, monkeypatch):
         assert failure.shrunk.workload == "configure-gcc"  # simplified
         assert failure.shrunk.seed == 1
         assert failure.repro_path is not None and failure.repro_path.exists()
+        # The repro embeds a trace-analysis digest of the shrunk run.
+        doc = load_repro(failure.repro_path)
+        assert doc["analysis"]["analysis_version"] >= 1
+        assert len(doc["analysis"]["sha256"]) == 64
+        assert doc["analysis"]["summary"]["latency_n"] > 0
     # The report serializes.
     doc = report.to_dict()
     assert doc["ok"] is False and len(doc["failures"]) == 2
@@ -202,8 +207,19 @@ def test_repro_roundtrip_and_replay(tmp_path):
     assert data["expect"] == ["nest.final_state"]
     assert Scenario.from_dict(data["scenario"]) == MINIMAL
     assert data["origin"]["index"] == 3
+    assert "analysis" not in data   # optional key: omitted when not given
     # The captured "bug" does not exist -> replay comes back clean.
     assert replay_repro(path) == []
+
+
+def test_repro_carries_optional_analysis_digest(tmp_path):
+    digest = {"analysis_version": 1, "sha256": "ab" * 32,
+              "summary": {"latency_n": 5}}
+    path = save_repro(tmp_path / "r.json", MINIMAL,
+                      [Violation("nest.final_state", "x")],
+                      analysis=digest)
+    data = load_repro(path)
+    assert data["analysis"] == digest
 
 
 def test_repro_replay_runs_named_diff_checks(tmp_path, monkeypatch):

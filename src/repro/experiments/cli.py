@@ -49,6 +49,7 @@ from ..obs.export import events_to_jsonl, text_summary, write_chrome_trace
 from ..obs.history import HistoryStore, append_trajectory, trajectory_entries
 from ..obs.telemetry.hub import TelemetryHub
 from ..obs.telemetry.view import make_view
+from ..sched.registry import available_policies
 # Re-exported for backward compatibility: the catalogue used to live here.
 from ..workloads.catalog import make_workload, workload_names
 from .cache import ResultCache
@@ -675,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--workload", required=True)
     run_p.add_argument("--machine", default="5218_2s")
     run_p.add_argument("--scheduler", default="nest",
-                       choices=["cfs", "nest", "smove"])
+                       choices=available_policies())
     run_p.add_argument("--governor", default="schedutil",
                        choices=["schedutil", "performance"])
     run_p.add_argument("--seed", type=int, default=1)

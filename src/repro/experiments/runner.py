@@ -18,8 +18,7 @@ from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
                     Sequence, Tuple)
 
-from ..core.nest import NestPolicy
-from ..core.params import DEFAULT_PARAMS, NestParams
+from ..core.params import NestParams
 from ..faults import FaultConfig, FaultInjector, FaultPlan
 from ..governors.base import Governor
 from ..governors.performance import PerformanceGovernor
@@ -31,8 +30,7 @@ from ..metrics.summary import (RunResult, energy_savings, improvement_stddev,
                                speedup)
 from ..metrics.underload import UnderloadTracker
 from ..sched.base import SelectionPolicy
-from ..sched.cfs import CfsPolicy
-from ..sched.smove import SmovePolicy
+from ..sched.registry import make_registered_policy
 from ..sim.engine import Engine
 from ..sim.trace import Tracer
 from ..workloads.base import Workload
@@ -53,15 +51,8 @@ STANDARD_COMBOS: Tuple[Tuple[str, str], ...] = (
 
 
 def make_policy(name: str, nest_params: Optional[NestParams] = None) -> SelectionPolicy:
-    """Instantiate a selection policy by short name."""
-    key = name.lower()
-    if key == "cfs":
-        return CfsPolicy()
-    if key == "nest":
-        return NestPolicy(nest_params or DEFAULT_PARAMS)
-    if key == "smove":
-        return SmovePolicy()
-    raise ValueError(f"unknown scheduler {name!r}")
+    """Instantiate a selection policy by short name (sched/registry.py)."""
+    return make_registered_policy(name, nest_params)
 
 
 _numpy_notice_shown = False
@@ -221,7 +212,8 @@ def run_experiment(
     if faults is not None and faults.enabled:
         plan = FaultPlan.generate(
             faults, machine.n_cpus, machine.topology.n_physical_cores,
-            machine.nominal_mhz, machine.min_mhz, engine.rng)
+            machine.nominal_mhz, machine.min_mhz, engine.rng,
+            n_sockets=machine.topology.n_sockets)
         injector = FaultInjector(kernel, plan, faults)
         injector.install()
 

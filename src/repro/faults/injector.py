@@ -20,8 +20,8 @@ from typing import TYPE_CHECKING
 
 from ..obs import events as oev
 from ..sim.events import EventKind
-from .plan import (KIND_CPU_OFFLINE, KIND_STRAGGLER, KIND_THERMAL_CAP,
-                   FaultConfig, FaultPlan, FaultSpec)
+from .plan import (KIND_CORE_FAILURE, KIND_CPU_OFFLINE, KIND_STRAGGLER,
+                   KIND_THERMAL_CAP, FaultConfig, FaultPlan, FaultSpec)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..kernel.scheduler_core import Kernel
@@ -42,6 +42,8 @@ class FaultInjector:
         self._c_thermal = m.counter("fault_thermal_caps")
         self._c_straggler = m.counter("fault_stragglers")
         self._c_straggler_skipped = m.counter("fault_straggler_skipped")
+        self._c_corefail = m.counter("fault_core_failures")
+        self._c_corefail_skipped = m.counter("fault_core_failure_skipped")
         #: Generation counter per physical core so an overlapping thermal
         #: cap extends rather than truncates (a stale clear is a no-op).
         self._thermal_gen = [0] * kernel.topology.n_physical_cores
@@ -66,6 +68,8 @@ class FaultInjector:
             self._apply_thermal(spec)
         elif spec.kind == KIND_STRAGGLER:
             self._apply_straggler(spec)
+        elif spec.kind == KIND_CORE_FAILURE:
+            self._apply_core_failure(spec)
         else:  # pragma: no cover - plan generation owns the vocabulary
             raise ValueError(f"unknown fault kind {spec.kind!r}")
 
@@ -107,6 +111,30 @@ class FaultInjector:
         if kernel.obs.enabled:
             kernel.obs.emit(kernel.engine.now, oev.FAULT_THERMAL_CLEAR,
                             cpu=pc)
+
+    def _apply_core_failure(self, spec: FaultSpec) -> None:
+        """Fail-stop failure: resident RT copies die, the thread goes cold.
+
+        Unlike a hotplug (which migrates everything off), a core failure
+        first *destroys* deadline-carrying task copies on the thread —
+        that is what the primary/backup machinery exists to survive — and
+        only then offlines it, migrating whatever non-RT work remains.
+        """
+        kernel = self.kernel
+        cpu = spec.target
+        online = sum(kernel.cpu_online)
+        if not kernel.cpu_online[cpu] \
+                or online <= self.config.min_online_cpus:
+            self._c_corefail_skipped.value += 1
+            return
+        self._c_corefail.value += 1
+        killed = kernel.rt_fail_cpu(cpu)
+        kernel.set_cpu_offline(cpu)
+        if kernel.obs.enabled:
+            kernel.obs.emit(kernel.engine.now, oev.FAULT_CORE_FAILURE,
+                            cpu=cpu, value=killed)
+        kernel.engine.after(max(1, spec.duration_us), EventKind.CONTROL,
+                            self._bring_online, (cpu,))
 
     def _apply_straggler(self, spec: FaultSpec) -> None:
         kernel = self.kernel

@@ -25,6 +25,7 @@ from ..sim.rng import RngRegistry
 KIND_CPU_OFFLINE = "cpu_offline"
 KIND_THERMAL_CAP = "thermal_cap"
 KIND_STRAGGLER = "straggler"
+KIND_CORE_FAILURE = "core_failure"
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,19 @@ class FaultConfig:
     straggler_rate_per_s: float = 0.0
     straggler_factor: float = 4.0
 
+    #: Correlated core failures: each event is a *burst* of fail-stop
+    #: failures of hardware threads drawn from one socket (threads fail
+    #: together because they share a power rail / cooling domain).  RT
+    #: task copies resident on a failed thread are destroyed, not
+    #: migrated; the thread comes back cold after the downtime.
+    core_failure_rate_per_s: float = 0.0
+    #: Hardware threads failed per correlated burst.
+    core_failure_burst: int = 2
+    #: k-of-n failure budget: total thread failures the plan may contain
+    #: (0 = unlimited).
+    core_failure_budget: int = 0
+    core_failure_downtime_us: int = 120_000
+
     #: Faults are generated within [1, horizon_us].
     horizon_us: int = 2_000_000
 
@@ -68,6 +82,12 @@ class FaultConfig:
             raise ValueError("thermal_cap_ratio must be in (0, 1]")
         if self.min_online_cpus < 1:
             raise ValueError("min_online_cpus must be >= 1")
+        if self.core_failure_burst < 1:
+            raise ValueError("core_failure_burst must be >= 1")
+        if self.core_failure_budget < 0:
+            raise ValueError("core_failure_budget must be >= 0")
+        if self.core_failure_downtime_us < 0:
+            raise ValueError("core_failure_downtime_us must be >= 0")
 
     @property
     def enabled(self) -> bool:
@@ -75,7 +95,8 @@ class FaultConfig:
         return (self.hotplug_rate_per_s > 0.0
                 or self.thermal_rate_per_s > 0.0
                 or self.tick_jitter_us > 0
-                or self.straggler_rate_per_s > 0.0)
+                or self.straggler_rate_per_s > 0.0
+                or self.core_failure_rate_per_s > 0.0)
 
     def as_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -90,6 +111,14 @@ FAULT_PROFILES: Dict[str, FaultConfig] = {
     "stragglers": FaultConfig(straggler_rate_per_s=6.0),
     "chaos": FaultConfig(hotplug_rate_per_s=3.0, thermal_rate_per_s=3.0,
                          tick_jitter_us=150, straggler_rate_per_s=4.0),
+    # Correlated same-socket core-failure families (fault-tolerant RT).
+    "corefail": FaultConfig(core_failure_rate_per_s=3.0,
+                            core_failure_burst=2,
+                            core_failure_budget=8),
+    "corefail-burst": FaultConfig(core_failure_rate_per_s=2.0,
+                                  core_failure_burst=4,
+                                  core_failure_budget=12,
+                                  core_failure_downtime_us=200_000),
 }
 
 
@@ -105,10 +134,11 @@ def fault_profile(name: str) -> FaultConfig:
 class FaultSpec:
     """One concrete fault: apply ``kind`` at ``at_us`` to ``target``.
 
-    ``target`` is a hardware thread for ``cpu_offline`` and ``straggler``,
-    a physical core for ``thermal_cap``.  ``duration_us`` is the downtime
-    (hotplug) or cap duration (thermal); ``value`` carries the cap in MHz
-    or the straggler factor scaled by 100.
+    ``target`` is a hardware thread for ``cpu_offline``, ``straggler``
+    and ``core_failure``, a physical core for ``thermal_cap``.
+    ``duration_us`` is the downtime (hotplug, core failure) or cap
+    duration (thermal); ``value`` carries the cap in MHz or the
+    straggler factor scaled by 100.
     """
 
     at_us: int
@@ -147,12 +177,13 @@ class FaultPlan:
     @classmethod
     def generate(cls, config: FaultConfig, n_cpus: int,
                  n_physical_cores: int, nominal_mhz: int, min_mhz: int,
-                 rng: RngRegistry) -> "FaultPlan":
+                 rng: RngRegistry, n_sockets: int = 1) -> "FaultPlan":
         """Expand ``config`` into concrete faults for one machine shape.
 
         Every family draws from its own named stream, in a fixed order
         (times first, then targets), so the expansion is reproducible and
-        families are independent.
+        families are independent.  ``n_sockets`` shapes the correlated
+        core-failure bursts (all targets of one burst share a socket).
         """
         horizon = config.horizon_us
         specs: List[FaultSpec] = []
@@ -190,6 +221,30 @@ class FaultPlan:
                     at_us=t, kind=KIND_STRAGGLER,
                     target=s.randrange(n_cpus),
                     value=int(config.straggler_factor * 100)))
+
+        n_bursts = _count(config.core_failure_rate_per_s, horizon)
+        if n_bursts:
+            s = rng.stream("faults:corefail")
+            times = sorted(s.randrange(1, horizon + 1)
+                           for _ in range(n_bursts))
+            sockets = max(1, n_sockets)
+            socket_size = max(1, n_cpus // sockets)
+            budget = config.core_failure_budget
+            used = 0
+            for t in times:
+                if budget and used >= budget:
+                    break
+                k = min(config.core_failure_burst, socket_size)
+                if budget:
+                    k = min(k, budget - used)
+                socket = s.randrange(sockets)
+                base = socket * socket_size
+                cpus = s.sample(range(base, base + socket_size), k)
+                for c in sorted(cpus):
+                    specs.append(FaultSpec(
+                        at_us=t, kind=KIND_CORE_FAILURE, target=c,
+                        duration_us=config.core_failure_downtime_us))
+                used += k
 
         return cls(specs, tick_jitter_us=config.tick_jitter_us)
 

@@ -39,9 +39,14 @@ from ..sim.events import EventKind
 from ..sim.trace import Tracer
 from .domains import DomainHierarchy
 from .runqueue import RunQueue
-from .syscalls import (BarrierWait, Compute, Exit, Fork, Recv, Send, Sleep,
-                       WaitChildren, WaitTask, Yield)
+from .syscalls import (RT_GO, BarrierWait, Compute, Exit, Fork, Recv, RtSpec,
+                       Send, Sleep, WaitChildren, WaitTask, Yield)
 from .task import BlockReason, Task, TaskState
+
+#: Bucket edges of the backup recovery-latency histogram (promotion of a
+#: cold backup to its exit, in µs).
+RT_RECOVERY_EDGES = (50, 100, 200, 500, 1_000, 2_000, 5_000,
+                     10_000, 20_000, 50_000)
 
 
 @dataclass(frozen=True)
@@ -154,6 +159,14 @@ class Kernel:
 
         #: Observers notified on runnable-count changes: fn(now, count).
         self.runnable_observers: List[Callable[[int, int], None]] = []
+
+        #: RT (deadline) metrics, created lazily at the first RT fork so
+        #: runs without RT tasks keep a bit-identical metrics dict.
+        self._rt_c_met = None
+        self._rt_c_miss = None
+        self._rt_c_activations = None
+        self._rt_c_kills = None
+        self._rt_h_recovery = None
 
         governor.bind(self)
         policy.bind(self)
@@ -325,6 +338,147 @@ class Kernel:
         return True
 
     # ------------------------------------------------------------------
+    # Real-time primary/backup re-execution (fault-tolerant scheduling)
+    #
+    # These helpers are shared verbatim with the fast engine: they only
+    # call methods that are themselves mirrored (``_exit_task``,
+    # ``_place_wakeup``, ``_runnable_delta``), so both engines take the
+    # identical event-and-metric path.  See DESIGN.md §10.
+    # ------------------------------------------------------------------
+
+    def _apply_rt_spec(self, task: Task, rt: RtSpec) -> None:
+        """Stamp a forked child with its RT attributes and, for a backup
+        copy, wire it to its primary and the activation channel."""
+        if self._rt_c_met is None:
+            m = self.metrics
+            self._rt_c_met = m.counter("rt_deadline_met")
+            self._rt_c_miss = m.counter("rt_deadline_miss")
+            self._rt_c_activations = m.counter("rt_backup_activations")
+            self._rt_c_kills = m.counter("rt_kills")
+            self._rt_h_recovery = m.histogram("rt_recovery_latency_us",
+                                              RT_RECOVERY_EDGES)
+        task.wcet_cycles = float(rt.wcet_cycles)
+        primary = rt.primary
+        if primary is None:
+            task.deadline_us = self.engine.now + rt.deadline_us
+        else:
+            # The backup shares its primary's absolute deadline: both
+            # copies belong to one job released at the primary's fork.
+            task.deadline_us = (primary.deadline_us
+                                if primary.deadline_us is not None
+                                else self.engine.now + rt.deadline_us)
+            task.backup_of = primary
+            primary.backup = task
+            primary.rt_channel = rt.channel
+
+    def rt_fail_cpu(self, cpu: int) -> int:
+        """Fail-stop semantics of a core-failure fault: destroy every RT
+        task copy resident on ``cpu`` (running or queued) before the cpu
+        is hotplugged out.  Non-RT tasks survive and are migrated by the
+        hotplug path; in-flight placements are redirected when they land.
+        Returns the number of copies destroyed."""
+        rq = self.rqs[cpu]
+        seen = set()
+        queued: List[Task] = []
+        for item in rq._heap:
+            t = item[2]
+            if t.tid in rq._queued and t.tid not in seen \
+                    and t.deadline_us is not None:
+                seen.add(t.tid)
+                queued.append(t)
+        queued.sort(key=lambda t: t.tid)
+        victims: List[Task] = []
+        curr = self.cpus[cpu].current
+        if curr is not None and curr.deadline_us is not None:
+            victims.append(curr)
+        victims.extend(queued)
+        for task in victims:
+            self._rt_kill(task, cpu)
+        return len(victims)
+
+    def _rt_kill(self, task: Task, cpu: int) -> None:
+        """Destroy one RT copy abruptly (no further execution)."""
+        task.rt_killed = True
+        self._rt_c_kills.value += 1
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, oev.RT_KILL, cpu=cpu,
+                          task=task.tid)
+        if task.cpu is None:
+            # Queued (RUNNABLE) on the failing core: dequeue it first;
+            # _exit_task only detaches RUNNING tasks.
+            self.rqs[cpu].remove(task)
+            self._runnable_delta(-1)
+        self._exit_task(task)
+        self._rt_handle_death(task, cpu)
+
+    def _rt_handle_death(self, victim: Task, cpu: int) -> None:
+        """Recovery after a kill: promote the cold backup, or account a
+        deadline miss when no copy is left."""
+        now = self.engine.now
+        if victim.backup_of is not None:
+            primary = victim.backup_of
+            if victim.rt_activated_us is not None:
+                # The promoted (sole remaining) copy died: the job is lost.
+                self._rt_account(primary, met=False)
+            # A cold backup died; the primary still runs and accounts for
+            # the job itself (its own death re-checks the backup's state).
+            return
+        backup = victim.backup
+        if backup is not None and backup.state is not TaskState.EXITED \
+                and backup.rt_activated_us is None:
+            backup.rt_activated_us = now
+            self._rt_c_activations.value += 1
+            if self.obs.enabled:
+                self.obs.emit(now, oev.RT_BACKUP_ACTIVATE, cpu=cpu,
+                              task=backup.tid, value=victim.tid)
+            chan = victim.rt_channel
+            receiver = chan.put(RT_GO)
+            if receiver is not None:
+                ok, msg = chan.try_get()
+                if not ok:  # pragma: no cover - put guarantees a message
+                    raise SimulationError("rt channel lost a message")
+                receiver.resume_value = msg
+                self._place_wakeup(receiver, cpu)
+            # else: the backup has not reached its Recv yet; it finds the
+            # activation message as soon as it does.
+            return
+        # No live backup to promote: the job is lost at kill time.
+        self._rt_account(victim, met=False)
+
+    def _rt_on_exit(self, task: Task) -> None:
+        """Deadline accounting at a normal (non-killed) RT task exit."""
+        now = self.engine.now
+        if task.backup_of is not None:
+            if task.rt_activated_us is not None:
+                # A promoted backup finished the job.
+                self._rt_account(task.backup_of,
+                                 met=now <= task.deadline_us,
+                                 recovery_us=now - task.rt_activated_us)
+            # A cancelled (never-activated) backup retires silently.
+            return
+        self._rt_account(task, met=now <= task.deadline_us)
+
+    def _rt_account(self, primary: Task, met: bool,
+                    recovery_us: Optional[int] = None) -> None:
+        """Record one job outcome exactly once (keyed on the primary)."""
+        if primary.rt_accounted:
+            return
+        primary.rt_accounted = True
+        now = self.engine.now
+        if met:
+            self._rt_c_met.value += 1
+            if self.obs.enabled:
+                self.obs.emit(now, oev.RT_DEADLINE_MET, task=primary.tid,
+                              value=primary.deadline_us)
+        else:
+            self._rt_c_miss.value += 1
+            if self.obs.enabled:
+                self.obs.emit(now, oev.RT_DEADLINE_MISS, task=primary.tid,
+                              value=primary.deadline_us)
+        if recovery_us is not None:
+            self._rt_h_recovery.observe(recovery_us)
+
+    # ------------------------------------------------------------------
     # Task creation / fork
     # ------------------------------------------------------------------
 
@@ -370,6 +524,10 @@ class Kernel:
 
     def _enqueue_placed(self, task: Task, cpu: int) -> None:
         self.rqs[cpu].placement_pending -= 1
+        if task.state is TaskState.EXITED:
+            # Destroyed by a core failure while the placement was in
+            # flight: the enqueue lands on a corpse and is dropped.
+            return
         if not self.cpu_online[cpu]:
             # The cpu was hotplugged out inside the §3.4 placement window:
             # land the task on the least loaded online cpu instead.
@@ -600,6 +758,8 @@ class Kernel:
             if isinstance(action, Fork):
                 child = self._new_task(action.behaviour, action.name,
                                        parent=task, args=action.args)
+                if action.rt is not None:
+                    self._apply_rt_spec(child, action.rt)
                 self._place_fork(child, parent_cpu=task.cpu)
                 task.resume_value = child
                 continue
@@ -701,6 +861,8 @@ class Kernel:
         task.state = TaskState.EXITED
         task.exited_us = self.engine.now
         self.n_live -= 1
+        if task.deadline_us is not None and not task.rt_killed:
+            self._rt_on_exit(task)
 
         parent = task.parent
         if parent is not None and parent.state is TaskState.BLOCKED:

@@ -49,6 +49,39 @@ class Sleep:
             raise ValueError("negative sleep")
 
 
+#: Message the kernel deposits in an RT activation channel when it
+#: promotes a cold backup after its primary copy was destroyed.
+RT_GO = "rt-go"
+#: Message a primary sends on normal completion to retire its backup.
+RT_CANCEL = "rt-cancel"
+
+
+@dataclass(frozen=True)
+class RtSpec:
+    """Real-time attributes attached to a :class:`Fork`.
+
+    ``deadline_us`` is relative to the fork time; the kernel converts it
+    to an absolute deadline on the child.  A *backup* copy names its
+    ``primary`` task and the activation ``channel`` the backup blocks on:
+    the kernel wires the two copies together and, if the primary is
+    destroyed by a core failure, deposits :data:`RT_GO` in the channel to
+    promote the backup.
+    """
+
+    deadline_us: int
+    wcet_cycles: float
+    primary: Any = None
+    channel: Any = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_us <= 0:
+            raise ValueError("non-positive deadline")
+        if self.wcet_cycles < 0:
+            raise ValueError("negative WCET")
+        if self.primary is not None and self.channel is None:
+            raise ValueError("a backup copy needs an activation channel")
+
+
 @dataclass(frozen=True)
 class Fork:
     """Create a child task running ``behaviour``; yields the child Task."""
@@ -56,6 +89,7 @@ class Fork:
     behaviour: Callable[..., Any]
     name: str = "child"
     args: tuple = ()
+    rt: Optional[RtSpec] = None
 
 
 @dataclass(frozen=True)

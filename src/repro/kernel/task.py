@@ -43,6 +43,8 @@ class Task:
         "exec_start_us", "total_cycles", "total_runtime_us", "n_migrations",
         "n_wakeups", "wakeup_latency_us", "resume_value", "waited_by",
         "waiting_for", "util_est",
+        "deadline_us", "wcet_cycles", "backup", "backup_of", "rt_channel",
+        "rt_activated_us", "rt_killed", "rt_accounted",
     )
 
     def __init__(
@@ -98,6 +100,20 @@ class Task:
         self.resume_value: Any = None             # sent into the generator
         self.waited_by: Optional["Task"] = None   # a parent in WaitTask
         self.waiting_for: Optional["Task"] = None
+
+        # Real-time job state (fault-tolerant scheduling; see DESIGN.md §10).
+        # ``deadline_us`` is an *absolute* deadline; a task with one set is
+        # an RT copy.  A primary copy points at its cold backup via
+        # ``backup`` and holds the activation channel; the backup points
+        # back via ``backup_of``.
+        self.deadline_us: Optional[int] = None
+        self.wcet_cycles = 0.0
+        self.backup: Optional["Task"] = None
+        self.backup_of: Optional["Task"] = None
+        self.rt_channel: Any = None
+        self.rt_activated_us: Optional[int] = None  # backup promotion time
+        self.rt_killed = False                    # destroyed by a core failure
+        self.rt_accounted = False                 # job outcome recorded
 
     # ---- Nest helpers (§3.3 attachment) ----------------------------------
 

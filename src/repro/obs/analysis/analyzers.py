@@ -1,4 +1,4 @@
-"""The six standard analyzers: the paper's claims, computed from events.
+"""The seven standard analyzers: the paper's claims, computed from events.
 
 Each one is a small single-pass state machine over the structured event
 log (see :mod:`repro.obs.events` for the vocabulary and emission-order
@@ -20,6 +20,9 @@ guarantees the analyzers rely on):
 * ``spin_economics`` — §3.2: time burned spinning vs wakeups the spin
   absorbed (the kernel stops the spin and dispatches at the same
   timestamp, which is how absorption is detected).
+* ``deadlines`` — fault-tolerant RT (DESIGN.md §10): deadline outcomes,
+  RT kills, backup activations and promotion→completion recovery
+  latency, from the ``rt.*`` event family.
 
 Everything rounds through :func:`_ratio` so reports serialize to stable
 decimals; all iteration over accumulated dicts is sorted.
@@ -31,7 +34,9 @@ from typing import Any, Dict, List, Optional, Set
 
 from ...metrics.quantiles import percentile
 from ..events import (FREQ_STEP, PLACEMENT_KINDS, PLACEMENT_TIERS,
-                      SCHED_DISPATCH, SCHED_PREEMPT, SPIN_START, SPIN_STOP,
+                      RT_BACKUP_ACTIVATE, RT_BACKUP_PLACE, RT_DEADLINE_MET,
+                      RT_DEADLINE_MISS, RT_KILL, SCHED_DISPATCH,
+                      SCHED_PREEMPT, SPIN_START, SPIN_STOP,
                       UNATTRIBUTED_TIER, SchedEvent, placement_tier)
 from .base import Analyzer, AnalysisContext
 
@@ -315,6 +320,71 @@ class OccupancyAnalyzer(Analyzer):
                 "mean_utilization": _ratio(total_busy,
                                            span * (ctx.n_cpus or 1)),
                 "top_cores": cores}
+
+
+class DeadlineAnalyzer(Analyzer):
+    """Fault-tolerant RT outcomes from the ``rt.*`` event family.
+
+    ``rt.deadline_met``/``miss`` carry the *primary's* tid;
+    ``rt.backup_activate`` carries the backup's tid with the dead
+    primary's tid in ``value``, which is how a promotion is matched to
+    the job outcome it eventually produces (the recovery latency).
+    Misses additionally yield tardiness: the accounting time minus the
+    absolute deadline the event carries in ``value``.
+    """
+
+    name = "deadlines"
+
+    def __init__(self) -> None:
+        self._met = 0
+        self._missed = 0
+        self._kills = 0
+        self._activations = 0
+        self._places_disjoint = 0
+        self._places_fallback = 0
+        self._activated_at: Dict[int, int] = {}   # primary tid -> t
+        self._recovery: List[int] = []
+        self._tardiness: List[int] = []
+
+    def feed(self, ev: SchedEvent) -> None:
+        if ev.kind == RT_DEADLINE_MET:
+            self._met += 1
+            self._close_recovery(ev)
+        elif ev.kind == RT_DEADLINE_MISS:
+            self._missed += 1
+            self._close_recovery(ev)
+            if ev.t > ev.value:
+                self._tardiness.append(ev.t - ev.value)
+        elif ev.kind == RT_KILL:
+            self._kills += 1
+        elif ev.kind == RT_BACKUP_ACTIVATE:
+            self._activations += 1
+            self._activated_at[ev.value] = ev.t
+        elif ev.kind == RT_BACKUP_PLACE:
+            if ev.value >= 0:
+                self._places_disjoint += 1
+            else:
+                self._places_fallback += 1
+
+    def _close_recovery(self, ev: SchedEvent) -> None:
+        started = self._activated_at.pop(ev.task, None)
+        if started is not None:
+            self._recovery.append(ev.t - started)
+
+    def finish(self, ctx: AnalysisContext) -> Dict[str, Any]:
+        jobs = self._met + self._missed
+        return {
+            "jobs": jobs,
+            "met": self._met,
+            "missed": self._missed,
+            "miss_fraction": _ratio(self._missed, jobs),
+            "kills": self._kills,
+            "activations": self._activations,
+            "backup_placements": {"disjoint": self._places_disjoint,
+                                  "fallback": self._places_fallback},
+            "recovery": _latency_summary(self._recovery),
+            "tardiness": _latency_summary(self._tardiness),
+        }
 
 
 class SpinEconomicsAnalyzer(Analyzer):

@@ -69,13 +69,15 @@ class Analyzer:
 
 
 def default_analyzers() -> List[Analyzer]:
-    """Fresh instances of the six standard analyzers."""
-    from .analyzers import (FreqRampAnalyzer, LatencyTierAnalyzer,
-                            NestDynamicsAnalyzer, OccupancyAnalyzer,
-                            SpinEconomicsAnalyzer, WarmCoreAnalyzer)
+    """Fresh instances of the seven standard analyzers."""
+    from .analyzers import (DeadlineAnalyzer, FreqRampAnalyzer,
+                            LatencyTierAnalyzer, NestDynamicsAnalyzer,
+                            OccupancyAnalyzer, SpinEconomicsAnalyzer,
+                            WarmCoreAnalyzer)
     return [LatencyTierAnalyzer(), WarmCoreAnalyzer(),
             NestDynamicsAnalyzer(), FreqRampAnalyzer(),
-            OccupancyAnalyzer(), SpinEconomicsAnalyzer()]
+            OccupancyAnalyzer(), SpinEconomicsAnalyzer(),
+            DeadlineAnalyzer()]
 
 
 def run_analyzers(events: Iterable[SchedEvent], ctx: AnalysisContext,

@@ -137,6 +137,17 @@ def report_text(report: Dict[str, Any]) -> str:
                      f"burned, {spin['absorbed_wakeups']} wakeups absorbed "
                      f"({spin['absorbed_fraction_of_spins']:.1%} of spins, "
                      f"{spin['spin_us_per_absorbed']:.0f}µs each)")
+    dl = a.get("deadlines", {})
+    if dl.get("jobs"):
+        line = (f"deadlines: {dl['met']}/{dl['jobs']} met "
+                f"({dl['miss_fraction']:.1%} missed), "
+                f"{dl['kills']} RT kills, "
+                f"{dl['activations']} backup activations")
+        recov = dl.get("recovery", {})
+        if recov.get("n"):
+            line += (f", recovery p50={recov.get('p50_us')}µs "
+                     f"max={recov.get('max_us')}µs")
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -165,6 +176,10 @@ def analysis_digest(report: Dict[str, Any]) -> Dict[str, Any]:
     nest = a.get("nest_dynamics", {})
     if nest:
         summary["nest_transitions"] = nest.get("transitions")
+    dl = a.get("deadlines", {})
+    if dl.get("jobs"):
+        summary["deadline_jobs"] = dl.get("jobs")
+        summary["deadline_missed"] = dl.get("missed")
     return {"analysis_version": report.get("analysis_version"),
             "sha256": sha, "summary": summary}
 
@@ -202,4 +217,23 @@ def derived_metrics(metrics: Dict[str, Any]) -> Dict[str, float]:
                            "share_reserve"):
                 warm_hits += v
         out[DERIVED_PREFIX + "warm_share"] = round(warm_hits / placements, 6)
+    met = counter("kernel.rt_deadline_met")
+    missed = counter("kernel.rt_deadline_miss")
+    jobs = (met or 0) + (missed or 0)
+    if jobs:
+        out[DERIVED_PREFIX + "deadline_jobs"] = jobs
+        out[DERIVED_PREFIX + "deadline_misses"] = missed or 0
+        out[DERIVED_PREFIX + "deadline_miss_fraction"] = round(
+            (missed or 0) / jobs, 6)
+        out[DERIVED_PREFIX + "deadline_activations"] = counter(
+            "kernel.rt_backup_activations") or 0
+        out[DERIVED_PREFIX + "deadline_kills"] = counter(
+            "kernel.rt_kills") or 0
+        recov = metrics.get("kernel.rt_recovery_latency_us")
+        if isinstance(recov, dict) and recov.get("type") == "histogram" \
+                and recov.get("count"):
+            for p in (50, 99):
+                q = histogram_quantile(recov["edges"], recov["counts"], p)
+                if q is not None:
+                    out[f"{DERIVED_PREFIX}deadline_recovery_p{p}_us"] = q
     return out

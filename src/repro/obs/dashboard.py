@@ -312,6 +312,15 @@ def _analysis_section(runs: List[Dict[str, Any]]) -> str:
         p50 = m.get("derived.wakeup_p50_us")
         p99 = m.get("derived.wakeup_p99_us")
         warm = m.get("derived.warm_share")
+        jobs = m.get("derived.deadline_jobs")
+        if jobs:
+            missed = m.get("derived.deadline_misses", 0)
+            deadline = f"{jobs - missed:g}/{jobs:g}"
+            activations = m.get("derived.deadline_activations")
+            if activations:
+                deadline += f" ({activations:g} promo)"
+        else:
+            deadline = "—"
         rows.append(
             "<tr>"
             f'<td><code>{_esc(run["label"])}</code></td>'
@@ -319,6 +328,7 @@ def _analysis_section(runs: List[Dict[str, Any]]) -> str:
             f'<td>{f"≤{p99:g}" if p99 is not None else "—"}</td>'
             f'<td>{f"{warm:.1%}" if warm is not None else "—"}</td>'
             f"<td>{_tier_bar(m)}</td>"
+            f"<td>{deadline}</td>"
             "</tr>")
     if not rows:
         return ('<p class="muted">no derived metrics recorded '
@@ -328,7 +338,8 @@ def _analysis_section(runs: List[Dict[str, Any]]) -> str:
         f'{_esc(name[6:])}</span>' for name, color in TIER_COLORS)
     return ('<table><thead><tr><th>run</th><th>wakeup p50 (µs)</th>'
             '<th>wakeup p99 (µs)</th><th>warm share</th>'
-            '<th>placement tiers</th></tr></thead><tbody>'
+            '<th>placement tiers</th><th>deadlines met</th>'
+            '</tr></thead><tbody>'
             + "".join(rows) + "</tbody></table>"
             + f"<p>{legend}</p>")
 

@@ -68,6 +68,18 @@ FAULT_THERMAL_CAP = "fault.thermal_cap"    # core capped (value=cap MHz)
 FAULT_THERMAL_CLEAR = "fault.thermal_clear"  # cap lifted
 FAULT_STRAGGLER = "fault.straggler"        # running task slowed (value=%)
 FAULT_JITTER_ON = "fault.jitter_on"        # tick jitter armed (value=max µs)
+FAULT_CORE_FAILURE = "fault.core_failure"  # fail-stop core failure
+                                           # (value=RT copies destroyed)
+
+# --- fault-tolerant RT scheduling (DESIGN.md §10) -------------------------
+RT_BACKUP_PLACE = "rt.backup_place"      # FT-RT committed a backup's core
+                                         # (value=primary cpu, -1 fallback)
+RT_BACKUP_ACTIVATE = "rt.backup_activate"  # cold backup promoted
+                                           # (value=dead primary's tid)
+RT_KILL = "rt.kill"                      # RT copy destroyed by core failure
+RT_DEADLINE_MET = "rt.deadline_met"      # job finished by its deadline
+RT_DEADLINE_MISS = "rt.deadline_miss"    # job lost or finished late
+                                         # (value=absolute deadline µs)
 
 # --- nest repair under faults --------------------------------------------
 NEST_OFFLINE_EVICT = "nest.offline_evict"  # offline core evicted from nests
@@ -82,6 +94,9 @@ EVENT_KINDS = frozenset({
     FREQ_STEP, FREQ_REQUEST,
     FAULT_CPU_OFFLINE, FAULT_CPU_ONLINE, FAULT_THERMAL_CAP,
     FAULT_THERMAL_CLEAR, FAULT_STRAGGLER, FAULT_JITTER_ON,
+    FAULT_CORE_FAILURE,
+    RT_BACKUP_PLACE, RT_BACKUP_ACTIVATE, RT_KILL,
+    RT_DEADLINE_MET, RT_DEADLINE_MISS,
 })
 
 #: The nest-membership transitions, exported as Perfetto instant events.
@@ -94,6 +109,13 @@ NEST_TRANSITION_KINDS = frozenset({
 FAULT_KINDS = frozenset({
     FAULT_CPU_OFFLINE, FAULT_CPU_ONLINE, FAULT_THERMAL_CAP,
     FAULT_THERMAL_CLEAR, FAULT_STRAGGLER, FAULT_JITTER_ON,
+    FAULT_CORE_FAILURE,
+})
+
+#: RT (deadline-scheduling) kinds, for exporters and summaries.
+RT_KINDS = frozenset({
+    RT_BACKUP_PLACE, RT_BACKUP_ACTIVATE, RT_KILL,
+    RT_DEADLINE_MET, RT_DEADLINE_MISS,
 })
 
 #: Placement-decision kinds, in presentation order for summaries.

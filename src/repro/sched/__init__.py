@@ -1,7 +1,17 @@
-"""Core-selection policies: CFS (baseline), Smove (comparison baseline)."""
+"""Core-selection policies and their registry.
+
+CFS (baseline), Smove (comparison baseline) and FT-RT (fault-tolerant
+deadline placement) live here; Nest lives in ``core/``.  All are resolved
+by short name through :mod:`repro.sched.registry`.
+"""
 
 from .base import SelectionPolicy
 from .cfs import CfsPolicy, WAKEUP_SCAN_LIMIT
+from .ftrt import FtrtPolicy
+from .registry import (available_policies, make_registered_policy,
+                       register_policy)
 from .smove import SmovePolicy
 
-__all__ = ["SelectionPolicy", "CfsPolicy", "SmovePolicy", "WAKEUP_SCAN_LIMIT"]
+__all__ = ["SelectionPolicy", "CfsPolicy", "SmovePolicy", "FtrtPolicy",
+           "WAKEUP_SCAN_LIMIT", "available_policies",
+           "make_registered_policy", "register_policy"]

@@ -1,0 +1,83 @@
+"""Name → selection-policy registry.
+
+Extracted from the ad-hoc ``if name == ...`` chains so that every layer
+(experiment runner, CLI, fuzzer, tests) resolves scheduler names through
+one table, and new policies plug in with a one-line registration instead
+of edits in three places.
+
+Factories are lazy: each imports its policy module only when invoked, so
+registering the built-ins does not pull ``core.nest`` (which itself
+imports this package) at import time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.params import NestParams
+    from .base import SelectionPolicy
+
+#: A factory takes the (possibly None) NestParams override and returns a
+#: fresh policy instance.  Policies that take no parameters ignore it.
+PolicyFactory = Callable[["Optional[NestParams]"], "SelectionPolicy"]
+
+_FACTORIES: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory, *,
+                    replace: bool = False) -> None:
+    """Register ``factory`` under the (case-insensitive) short ``name``."""
+    key = name.lower()
+    if not replace and key in _FACTORIES:
+        raise ValueError(f"policy {key!r} already registered")
+    _FACTORIES[key] = factory
+
+
+def available_policies() -> List[str]:
+    """The registered short names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_registered_policy(name: str,
+                           nest_params: "Optional[NestParams]" = None
+                           ) -> "SelectionPolicy":
+    """Instantiate a registered policy by short name."""
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; "
+                         f"known: {available_policies()}") from None
+    return factory(nest_params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in policies.
+
+
+def _make_cfs(params: "Optional[NestParams]") -> "SelectionPolicy":
+    from .cfs import CfsPolicy
+    return CfsPolicy()
+
+
+def _make_nest(params: "Optional[NestParams]") -> "SelectionPolicy":
+    from ..core.nest import NestPolicy
+    from ..core.params import DEFAULT_PARAMS
+    return NestPolicy(params or DEFAULT_PARAMS)
+
+
+def _make_smove(params: "Optional[NestParams]") -> "SelectionPolicy":
+    from .smove import SmovePolicy
+    return SmovePolicy()
+
+
+def _make_ftrt(params: "Optional[NestParams]") -> "SelectionPolicy":
+    from .ftrt import FtrtPolicy
+    return FtrtPolicy()
+
+
+register_policy("cfs", _make_cfs)
+register_policy("nest", _make_nest)
+register_policy("smove", _make_smove)
+register_policy("ftrt", _make_ftrt)

@@ -808,6 +808,8 @@ class FastKernel(Kernel):
             if isinstance(action, Fork):
                 child = self._new_task(action.behaviour, action.name,
                                        parent=task, args=action.args)
+                if action.rt is not None:
+                    self._apply_rt_spec(child, action.rt)
                 self._place_fork(child, parent_cpu=task.cpu)
                 task.resume_value = child
                 continue
@@ -884,6 +886,8 @@ class FastKernel(Kernel):
         task.state = _EXITED
         task.exited_us = self.engine.now
         self.n_live -= 1
+        if task.deadline_us is not None and not task.rt_killed:
+            self._rt_on_exit(task)
 
         parent = task.parent
         if parent is not None and parent.state is TaskState.BLOCKED:
@@ -1134,6 +1138,10 @@ class FastKernel(Kernel):
         n = rq.placement_pending - 1
         rq.placement_pending = n
         self._c_pending[cpu] = n
+        if task.state is _EXITED:
+            # Destroyed by a core failure while the placement was in
+            # flight: the enqueue lands on a corpse and is dropped.
+            return
         if not self.cpu_online[cpu]:
             cpu = self.least_loaded_online(cpu)
             task.record_core(cpu)
@@ -1490,6 +1498,12 @@ class FastSmovePolicy(SmovePolicy):
         self._cfs._bind_fast()
 
 
+#: Schedulers with a bit-identical fast-engine variant.  Anything else
+#: (FT-RT) must run on the reference engine; the differential harness
+#: keys off this tuple when deciding whether a scenario is parity-checkable.
+FAST_SCHEDULERS = ("cfs", "nest", "smove")
+
+
 def make_fast_policy(name: str, nest_params=None):
     """Instantiate the fast variant of a selection policy by short name."""
     key = name.lower()
@@ -1499,4 +1513,8 @@ def make_fast_policy(name: str, nest_params=None):
         return FastNestPolicy(nest_params or DEFAULT_PARAMS)
     if key == "smove":
         return FastSmovePolicy()
+    if key == "ftrt":
+        raise ValueError(
+            "scheduler 'ftrt' has no fast-engine variant; run it on the "
+            "reference engine (--engine ref)")
     raise ValueError(f"unknown scheduler {name!r}")

@@ -173,7 +173,14 @@ def check_engine_parity(scenario: Scenario,
     artifacts it already computed (``ref_art``); shrink-time re-checks
     recompute both sides from the scenario alone.
     """
+    from ..sim.fastengine import FAST_SCHEDULERS
     from .execute import run_scenario
+
+    if scenario.scheduler not in FAST_SCHEDULERS:
+        # FT-RT (and any future ref-only policy) has no fast variant;
+        # make_fast_policy refuses it with a tested error, so parity is
+        # vacuous rather than a crash mismatch.
+        return
 
     if ref_art is None:
         ref_art = run_scenario(scenario)

@@ -41,13 +41,16 @@ WORKLOAD_POOL = (
     ("dacapo-h2", (0.1,)),
     ("leveldb", (1.0,)),
     ("redis", (1.0,)),
+    ("deadline-periodic", (0.5, 1.0)),
+    ("deadline-sporadic", (0.5, 1.0)),
 )
 
 #: Weighted machine pool (small boxes dominate to keep runs fast).
 MACHINE_POOL = ("ryzen_4650g", "ryzen_4650g", "ryzen_4650g", "5218_2s")
 
-#: Weighted scheduler pool (Nest dominates: it carries the invariants).
-SCHEDULER_POOL = ("nest", "nest", "nest", "cfs", "smove")
+#: Weighted scheduler pool (Nest dominates: it carries most invariants;
+#: FT-RT carries the rt.* family and runs on the reference engine only).
+SCHEDULER_POOL = ("nest", "nest", "nest", "cfs", "smove", "ftrt")
 
 GOVERNOR_POOL = ("schedutil", "schedutil", "performance")
 
@@ -187,6 +190,10 @@ class ScenarioGenerator:
                 tick_jitter_us=s.choice((0, 0, 100, 300)),
                 straggler_rate_per_s=s.choice((0.0, 100.0, 200.0)),
                 straggler_factor=s.choice((2.0, 4.0)),
+                core_failure_rate_per_s=s.choice((0.0, 50.0, 100.0)),
+                core_failure_burst=s.choice((2, 3, 4)),
+                core_failure_budget=s.choice((0, 6, 12)),
+                core_failure_downtime_us=s.choice((10_000, 30_000)),
                 horizon_us=FAULT_HORIZON_US,
             )
             if config.enabled:

@@ -31,8 +31,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.params import DEFAULT_PARAMS, NestParams
-from ..faults.plan import (KIND_CPU_OFFLINE, KIND_STRAGGLER,
-                           KIND_THERMAL_CAP, FaultPlan)
+from ..faults.plan import (KIND_CORE_FAILURE, KIND_CPU_OFFLINE,
+                           KIND_STRAGGLER, KIND_THERMAL_CAP, FaultPlan)
 from ..obs import events as oev
 from ..sim.rng import RngRegistry
 
@@ -479,7 +479,8 @@ def check_fault_consistency(art: "RunArtifacts") -> Iterable[Violation]:
     plan = FaultPlan.generate(config, machine.n_cpus,
                               machine.topology.n_physical_cores,
                               machine.nominal_mhz, machine.min_mhz,
-                              RngRegistry(art.scenario.seed))
+                              RngRegistry(art.scenario.seed),
+                              n_sockets=machine.topology.n_sockets)
     injected = int(res.extra.get("faults_injected", -1))
     if injected != len(plan):
         yield Violation("faults.consistency",
@@ -492,23 +493,37 @@ def check_fault_consistency(art: "RunArtifacts") -> Iterable[Violation]:
         KIND_THERMAL_CAP: _counter(m, "kernel.fault_thermal_caps"),
         KIND_STRAGGLER: (_counter(m, "kernel.fault_stragglers")
                          + _counter(m, "kernel.fault_straggler_skipped")),
+        KIND_CORE_FAILURE: (
+            _counter(m, "kernel.fault_core_failures")
+            + _counter(m, "kernel.fault_core_failure_skipped")),
     }
     for kind, handled in family_counters.items():
         if handled > planned.get(kind, 0):
             yield Violation("faults.consistency",
                             f"{handled} {kind} faults handled but only "
                             f"{planned.get(kind, 0)} were planned")
+    # Core failures offline the thread through the same hotplug machinery,
+    # so an online event may repay either an offline fault or a failure.
     if _counter(m, "kernel.fault_cpu_online") \
-            > _counter(m, "kernel.fault_cpu_offline"):
+            > (_counter(m, "kernel.fault_cpu_offline")
+               + _counter(m, "kernel.fault_core_failures")):
         yield Violation("faults.consistency",
                         "more cpus brought online than taken offline")
     if art.events:
         counts = _kind_counts(art.events)
+        offline_events = counts.get(oev.FAULT_CPU_OFFLINE, 0)
+        offline_expected = (_counter(m, "kernel.fault_cpu_offline")
+                            + _counter(m, "kernel.fault_core_failures"))
+        if offline_events != offline_expected:
+            yield Violation("faults.consistency",
+                            f"{offline_events} {oev.FAULT_CPU_OFFLINE} "
+                            f"events but offline + core-failure counters "
+                            f"= {offline_expected}")
         event_mirrors = (
-            (oev.FAULT_CPU_OFFLINE, "kernel.fault_cpu_offline"),
             (oev.FAULT_CPU_ONLINE, "kernel.fault_cpu_online"),
             (oev.FAULT_THERMAL_CAP, "kernel.fault_thermal_caps"),
             (oev.FAULT_STRAGGLER, "kernel.fault_stragglers"),
+            (oev.FAULT_CORE_FAILURE, "kernel.fault_core_failures"),
         )
         for kind, counter in event_mirrors:
             if counts.get(kind, 0) != _counter(m, counter):
@@ -520,6 +535,95 @@ def check_fault_consistency(art: "RunArtifacts") -> Iterable[Violation]:
             yield Violation("faults.consistency",
                             f"tick_jitter_us={config.tick_jitter_us} but "
                             f"{jitter_events} jitter_on event(s)")
+
+
+def check_rt_miss_causality(art: "RunArtifacts") -> Iterable[Violation]:
+    """Deadline streams carry generous slack, so a fault-free run meets
+    every deadline: a miss without a single logged fault is a scheduler
+    bug, not bad luck."""
+    m = art.result.metrics
+    misses = _counter(m, "kernel.rt_deadline_miss")
+    if misses == 0:
+        return
+    fault_counters = ("kernel.fault_core_failures", "kernel.fault_cpu_offline",
+                      "kernel.fault_thermal_caps", "kernel.fault_stragglers")
+    if all(_counter(m, c) == 0 for c in fault_counters) \
+            and not any(ev.kind in oev.FAULT_KINDS for ev in art.events):
+        yield Violation("rt.miss_causality",
+                        f"{misses} deadline miss(es) in a run that logged "
+                        f"no fault")
+        return
+    if art.events:
+        first_fault = min((ev.t for ev in art.events
+                           if ev.kind in oev.FAULT_KINDS), default=None)
+        bad = 0
+        for ev in art.events:
+            if ev.kind != oev.RT_DEADLINE_MISS:
+                continue
+            if first_fault is None or ev.t < first_fault:
+                yield Violation("rt.miss_causality",
+                                f"task {ev.task} missed its deadline before "
+                                f"any fault was injected", t=ev.t)
+                bad += 1
+                if bad >= MAX_PER_INVARIANT:
+                    return
+
+
+def check_rt_backup_disjoint(art: "RunArtifacts") -> Iterable[Violation]:
+    """A backup admitted against a known primary core must land on a
+    different physical core — otherwise one failure takes both copies."""
+    topo = art.machine.topology
+    bad = 0
+    for ev in art.events:
+        if ev.kind != oev.RT_BACKUP_PLACE or ev.value < 0:
+            continue
+        if topo.physical_core_of(ev.cpu) == topo.physical_core_of(ev.value):
+            yield Violation("rt.backup_disjoint",
+                            f"backup {ev.task} placed on cpu {ev.cpu}, the "
+                            f"same physical core as its primary's cpu "
+                            f"{ev.value}", t=ev.t)
+            bad += 1
+            if bad >= MAX_PER_INVARIANT:
+                return
+
+
+def check_rt_activation_pairing(art: "RunArtifacts") -> Iterable[Violation]:
+    """Backups are promoted only inside the application of a core-failure
+    fault, so every activation (and every RT kill) shares its timestamp
+    with a ``fault.core_failure`` event, and the counters mirror the
+    event stream."""
+    m = art.result.metrics
+    activations = _counter(m, "kernel.rt_backup_activations")
+    if art.events:
+        counts = _kind_counts(art.events)
+        if counts.get(oev.RT_BACKUP_ACTIVATE, 0) != activations:
+            yield Violation("rt.activation_pairing",
+                            f"{counts.get(oev.RT_BACKUP_ACTIVATE, 0)} "
+                            f"activation events but the counter says "
+                            f"{activations}")
+        if counts.get(oev.RT_KILL, 0) != _counter(m, "kernel.rt_kills"):
+            yield Violation("rt.activation_pairing",
+                            f"{counts.get(oev.RT_KILL, 0)} rt.kill events "
+                            f"but the counter says "
+                            f"{_counter(m, 'kernel.rt_kills')}")
+        failure_times = {ev.t for ev in art.events
+                         if ev.kind == oev.FAULT_CORE_FAILURE}
+        bad = 0
+        for ev in art.events:
+            if ev.kind not in (oev.RT_BACKUP_ACTIVATE, oev.RT_KILL):
+                continue
+            if ev.t not in failure_times:
+                yield Violation("rt.activation_pairing",
+                                f"{ev.kind} for task {ev.task} has no "
+                                f"core-failure event at its timestamp",
+                                t=ev.t)
+                bad += 1
+                if bad >= MAX_PER_INVARIANT:
+                    return
+    elif activations > _counter(m, "kernel.rt_kills"):
+        yield Violation("rt.activation_pairing",
+                        f"{activations} backup activations exceed "
+                        f"{_counter(m, 'kernel.rt_kills')} RT kills")
 
 
 def check_result_sanity(art: "RunArtifacts") -> Iterable[Violation]:
@@ -561,6 +665,9 @@ INVARIANTS: Tuple[Tuple[str, Any], ...] = (
     ("freq.sanity", check_freq_sanity),
     ("spin.pairing", check_spin_pairing),
     ("faults.consistency", check_fault_consistency),
+    ("rt.miss_causality", check_rt_miss_causality),
+    ("rt.backup_disjoint", check_rt_backup_disjoint),
+    ("rt.activation_pairing", check_rt_activation_pairing),
 )
 
 

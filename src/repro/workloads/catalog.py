@@ -19,6 +19,7 @@ from typing import List
 from .base import Workload
 from .configure import ConfigureWorkload, configure_names
 from .dacapo import DacapoWorkload, dacapo_names
+from .deadline import DeadlineWorkload, deadline_names
 from .messaging import HackbenchWorkload, SchbenchWorkload
 from .nas import NasWorkload, nas_names
 from .phoronix import PhoronixWorkload, fig13_names
@@ -45,6 +46,10 @@ def make_workload(name: str, scale: float = 1.0) -> Workload:
             raise KeyError(f"unknown workload {name!r}; try 'list'") from None
     if name == "schbench":
         return SchbenchWorkload()
+    if name == "deadline-periodic":
+        return DeadlineWorkload(scale=scale)
+    if name == "deadline-sporadic":
+        return DeadlineWorkload(sporadic=True, scale=scale)
     if name.startswith("apache-siege-c"):
         try:
             return apache_siege(int(name.removeprefix("apache-siege-c")))
@@ -61,6 +66,7 @@ def workload_names() -> List[str]:
     out += [f"dacapo-{n}" for n in dacapo_names()]
     out += [f"nas-{n}" for n in nas_names()]
     out += [f"phoronix-{n}" for n in fig13_names()]
+    out += deadline_names()
     out += ["hackbench", "nginx", "leveldb", "redis"]
     return out
 

@@ -1,0 +1,100 @@
+"""Deadline-task family for fault-tolerant scheduling (DESIGN.md §10).
+
+A dispatcher releases a stream of independent real-time *jobs*.  Each job
+is a primary/backup pair: the primary forks with an :class:`RtSpec`
+(relative deadline + WCET) and computes; the backup forks with the same
+deadline, wired to the primary through an activation channel, and
+immediately parks on ``Recv`` — it consumes no CPU while the primary is
+healthy.  On normal completion the primary deposits :data:`RT_CANCEL`
+and the backup retires; if a core failure destroys the primary, the
+kernel deposits :data:`RT_GO` and the backup re-executes the job from
+scratch (re-execution, not checkpointing — the paper-adjacent classic
+primary/backup model).
+
+Deadlines carry generous slack (``slack`` × the mean job length) so that
+a fault-free run meets every deadline on any machine in the catalogue;
+misses in a faulted run are then attributable to failures, which is what
+the ``rt.miss_causality`` oracle invariant checks.
+
+Arrivals are seeded per-workload streams: *periodic* releases on a fixed
+period, *sporadic* draws exponential gaps.  Same seed ⇒ same arrival
+times, job lengths and fork order, on either release model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..kernel.scheduler_core import Kernel
+from ..kernel.syscalls import (RT_CANCEL, RT_GO, Channel, Compute, Fork,
+                               Recv, RtSpec, Send, Sleep, WaitChildren)
+from ..kernel.task import Task
+from .base import Workload, jittered, us_of_work
+
+
+class DeadlineWorkload(Workload):
+    """A stream of primary/backup deadline jobs.
+
+    ``jobs`` scales with the workload's ``scale`` knob like every other
+    catalogue workload; ``slack`` is the ratio of relative deadline to
+    mean job length.
+    """
+
+    def __init__(self, jobs: int = 32, period_us: int = 2_000,
+                 work_us: float = 3_000.0, slack: float = 8.0,
+                 sporadic: bool = False, scale: float = 1.0) -> None:
+        self.jobs = max(1, int(round(jobs * scale)))
+        self.period_us = period_us
+        self.work_us = work_us
+        self.slack = slack
+        self.sporadic = sporadic
+        self.scale = scale
+        self.name = "deadline-sporadic" if sporadic else "deadline-periodic"
+
+    @property
+    def deadline_us(self) -> int:
+        """The relative deadline every job of this stream carries."""
+        return max(1, int(self.work_us * self.slack))
+
+    def start(self, kernel: Kernel) -> Task:
+        rng = self.rng(kernel)
+        return kernel.spawn(self._dispatcher, name=self.name, args=(rng,))
+
+    def _dispatcher(self, api, rng: random.Random):
+        deadline = self.deadline_us
+        for j in range(self.jobs):
+            if self.sporadic:
+                gap = max(1, int(rng.expovariate(1.0 / self.period_us)))
+            else:
+                gap = self.period_us
+            yield Sleep(gap)
+            work = us_of_work(jittered(rng, self.work_us,
+                                       floor=self.work_us * 0.25))
+            chan = Channel(f"rt{j}-act")
+            # The primary's fork placement commits synchronously inside
+            # this Fork, so the backup's disjointness check (sched/ftrt.py)
+            # sees the primary's core immediately.
+            primary = yield Fork(
+                self._primary, name=f"rt{j}p", args=(work, chan),
+                rt=RtSpec(deadline_us=deadline, wcet_cycles=work))
+            yield Fork(
+                self._backup, name=f"rt{j}b", args=(work, chan),
+                rt=RtSpec(deadline_us=deadline, wcet_cycles=work,
+                          primary=primary, channel=chan))
+        yield WaitChildren()
+
+    def _primary(self, api, work: float, chan: Channel):
+        yield Compute(work)
+        # Retire the parked backup.  If a failure destroyed it first the
+        # message sits unread, which is harmless.
+        yield Send(chan, RT_CANCEL)
+
+    def _backup(self, api, work: float, chan: Channel):
+        msg = yield Recv(chan)
+        if msg == RT_GO:
+            # Promoted: the primary died, re-execute the job from scratch.
+            yield Compute(work)
+
+
+def deadline_names() -> list:
+    return ["deadline-periodic", "deadline-sporadic"]

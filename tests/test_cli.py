@@ -198,6 +198,30 @@ class TestObservabilityCli:
         assert rc == 0
         assert "faults[" not in capsys.readouterr().out
 
+    def test_run_ftrt_with_corefail_profile(self, capsys):
+        rc = main(["run", "--workload", "deadline-periodic",
+                   "--machine", "ryzen_4650g", "--scheduler", "ftrt",
+                   "--faults", "corefail", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Ftrt-schedutil" in out
+        assert "faults[corefail]:" in out and "planned" in out
+
+    def test_run_corefail_burst_profile_parses(self, capsys):
+        rc = main(["run", "--workload", "deadline-periodic",
+                   "--machine", "5218_2s", "--scheduler", "ftrt",
+                   "--faults", "corefail-burst", "--seed", "3"])
+        assert rc == 0
+        assert "faults[corefail-burst]:" in capsys.readouterr().out
+
+    def test_scheduler_choices_come_from_registry(self):
+        from repro.sched.registry import available_policies
+        p = build_parser()
+        args = p.parse_args(["run", "--workload", "deadline-periodic",
+                             "--scheduler", "ftrt"])
+        assert args.scheduler == "ftrt"
+        assert "ftrt" in available_policies()
+
     def _populate_cache(self, cache_dir, capsys):
         assert main(["compare", "--workload", "configure-gcc",
                      "--machine", "ryzen_4650g", "--seeds", "1",

@@ -11,8 +11,8 @@ import pytest
 from repro.experiments.runner import run_experiment
 from repro.faults import (FAULT_PROFILES, FaultConfig, FaultInjector,
                           FaultPlan, fault_profile)
-from repro.faults.plan import (KIND_CPU_OFFLINE, KIND_STRAGGLER,
-                               KIND_THERMAL_CAP, _count)
+from repro.faults.plan import (KIND_CORE_FAILURE, KIND_CPU_OFFLINE,
+                               KIND_STRAGGLER, KIND_THERMAL_CAP, _count)
 from repro.governors.performance import PerformanceGovernor
 from repro.hw.freqmodel import SPEED_SHIFT
 from repro.hw.machines import Machine, get_machine
@@ -132,6 +132,86 @@ class TestFaultPlan:
                                     straggler_factor=2.5))
         assert all(s.value == 250 for s in plan.specs
                    if s.kind == KIND_STRAGGLER)
+
+
+class TestCorrelatedFailurePlans:
+    """Correlated core-failure bursts: same-socket targeting, the k-of-n
+    budget, seeded determinism, and the named CLI profiles."""
+
+    def gen(self, config, seed=0, n_cpus=16, n_sockets=2):
+        return FaultPlan.generate(config, n_cpus=n_cpus,
+                                  n_physical_cores=n_cpus // 2,
+                                  nominal_mhz=2300, min_mhz=800,
+                                  rng=RngRegistry(seed), n_sockets=n_sockets)
+
+    def test_same_seed_bit_identical_plan(self):
+        cfg = FaultConfig(core_failure_rate_per_s=10.0,
+                          core_failure_burst=3)
+        a, b = self.gen(cfg, seed=9), self.gen(cfg, seed=9)
+        assert a.specs == b.specs
+
+    def test_different_seed_different_plan(self):
+        cfg = FaultConfig(core_failure_rate_per_s=10.0)
+        assert self.gen(cfg, seed=1).specs != self.gen(cfg, seed=2).specs
+
+    def test_burst_targets_share_a_socket(self):
+        cfg = FaultConfig(core_failure_rate_per_s=20.0,
+                          core_failure_burst=4)
+        plan = self.gen(cfg, n_cpus=16, n_sockets=2)
+        bursts = {}
+        for s in plan.specs:
+            assert s.kind == KIND_CORE_FAILURE
+            bursts.setdefault(s.at_us, []).append(s.target)
+        assert bursts
+        for targets in bursts.values():
+            sockets = {t // 8 for t in targets}   # 8 threads per socket
+            assert len(sockets) == 1
+            assert len(set(targets)) == len(targets)   # distinct threads
+
+    def test_budget_caps_total_failures(self):
+        cfg = FaultConfig(core_failure_rate_per_s=50.0,
+                          core_failure_burst=4, core_failure_budget=6)
+        plan = self.gen(cfg)
+        assert 0 < len(plan.specs) <= 6
+
+    def test_burst_clamped_to_socket_size(self):
+        cfg = FaultConfig(core_failure_rate_per_s=5.0,
+                          core_failure_burst=64)
+        plan = self.gen(cfg, n_cpus=8, n_sockets=2)
+        bursts = {}
+        for s in plan.specs:
+            bursts.setdefault(s.at_us, []).append(s.target)
+        assert all(len(ts) <= 4 for ts in bursts.values())
+
+    def test_family_stream_is_independent(self):
+        """Enabling hotplug must not shift the corefail draws."""
+        only = self.gen(FaultConfig(core_failure_rate_per_s=5.0))
+        both = self.gen(FaultConfig(core_failure_rate_per_s=5.0,
+                                    hotplug_rate_per_s=5.0))
+        core = [s for s in both.specs if s.kind == KIND_CORE_FAILURE]
+        assert core == only.specs
+
+    def test_downtime_carried_on_specs(self):
+        cfg = FaultConfig(core_failure_rate_per_s=5.0,
+                          core_failure_downtime_us=77_000)
+        plan = self.gen(cfg)
+        assert all(s.duration_us == 77_000 for s in plan.specs)
+
+    def test_profiles_registered(self):
+        for name in ("corefail", "corefail-burst"):
+            cfg = fault_profile(name)
+            assert cfg.enabled
+            assert cfg.core_failure_rate_per_s > 0
+        assert fault_profile("corefail-burst").core_failure_burst \
+            > fault_profile("corefail").core_failure_burst
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(core_failure_burst=0)
+        with pytest.raises(ValueError):
+            FaultConfig(core_failure_budget=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(core_failure_downtime_us=-1)
 
 
 class TestHotplugMechanics:
@@ -282,6 +362,81 @@ class TestEndToEndDeterminism:
             res = faulted_run(fault_profile(name) if name != "none" else None,
                               seed=3)
             assert res.makespan_us > 0, name
+
+
+#: Dense enough that correlated bursts reliably land inside a ~65ms
+#: deadline run and catch RT copies on-core.
+COREFAIL_DENSE = FaultConfig(core_failure_rate_per_s=60.0,
+                             core_failure_burst=3,
+                             core_failure_downtime_us=10_000,
+                             horizon_us=100_000)
+
+
+def ftrt_run(fc=COREFAIL_DENSE, seed=2, collect_events=False):
+    return run_experiment(make_workload("deadline-periodic"),
+                          get_machine("ryzen_4650g"), "ftrt", "schedutil",
+                          seed=seed, faults=fc,
+                          collect_events=collect_events)
+
+
+class TestCorrelatedFailureRuns:
+    """End-to-end correlated core failures against the FT-RT scheduler:
+    deterministic replay, fail-stop kill semantics, and reconciliation
+    through the oracle's plan re-derivation."""
+
+    def test_faulted_ftrt_run_bit_identical(self):
+        a, b = ftrt_run(), ftrt_run()
+        assert a.makespan_us == b.makespan_us
+        assert a.energy_joules == b.energy_joules
+        assert a.metrics == b.metrics
+        assert a.policy_stats == b.policy_stats
+        assert a.extra == b.extra
+
+    def test_failures_kill_and_recover(self):
+        res = ftrt_run()
+        m = res.metrics
+        assert m["kernel.fault_core_failures"]["value"] > 0
+        jobs = (m["kernel.rt_deadline_met"]["value"]
+                + m["kernel.rt_deadline_miss"]["value"])
+        assert jobs == 32   # every released job accounted exactly once
+        # Kills happened and every activation answers a kill.
+        assert m["kernel.rt_kills"]["value"] > 0
+        assert m["kernel.rt_backup_activations"]["value"] \
+            <= m["kernel.rt_kills"]["value"]
+
+    def test_plan_rederivation_reconciles(self):
+        """The oracle re-derives the corefail plan from (seed, config,
+        machine shape) and reconciles it against the run's counters."""
+        from repro.verify import Scenario, check_run, run_scenario
+        from repro.verify.generate import freeze_faults
+        sc = Scenario(workload="deadline-periodic", machine="ryzen_4650g",
+                      scheduler="ftrt", governor="schedutil", seed=2,
+                      scale=1.0, faults=freeze_faults(COREFAIL_DENSE))
+        assert check_run(run_scenario(sc)) == []
+
+    def test_corefail_skip_guard_counts(self):
+        """Bursts that would drop below min_online_cpus are skipped and
+        counted, keeping plan reconciliation exact."""
+        fc = FaultConfig(core_failure_rate_per_s=400.0,
+                         core_failure_burst=6, core_failure_downtime_us=30_000,
+                         min_online_cpus=10, horizon_us=60_000)
+        res = ftrt_run(fc)
+        m = res.metrics
+        applied = m["kernel.fault_core_failures"]["value"]
+        skipped = m["kernel.fault_core_failure_skipped"]["value"]
+        assert applied + skipped == res.extra["faults_injected"]
+        assert skipped > 0
+
+    def test_non_rt_tasks_survive_core_failure(self):
+        """Fail-stop destroys only deadline-carrying copies; ordinary
+        tasks are migrated by the hotplug path underneath."""
+        fc = FaultConfig(core_failure_rate_per_s=400.0,
+                         core_failure_burst=4, core_failure_downtime_us=5_000,
+                         horizon_us=10_000)
+        res = faulted_run(fc)   # nest + throughput workload: no RT tasks
+        assert res.metrics["kernel.fault_core_failures"]["value"] > 0
+        assert "kernel.rt_kills" not in res.metrics
+        assert res.makespan_us > 0
 
 
 class TestInjectorGuards:

@@ -150,6 +150,67 @@ class TestOfflineSearchPaths:
         policy.check_invariants()
 
 
+class TestNestLossEdgeCases:
+    """Hotplug that takes out the *last* online core of a nest — or every
+    core of a socket at once — must repair deterministically: both nests
+    evicted, home re-anchored, attachments scrubbed, orphans re-placed on
+    surviving cores.  Regression tests for the correlated-failure era,
+    where whole-socket loss is a planned event rather than a freak draw."""
+
+    def test_last_nest_core_offline_empties_and_repairs(self):
+        eng, kern, policy = make()
+        policy.primary.update({1})
+        policy.home_cpu = 1
+        hog = occupy(kern, 1)
+        eng.run(until=100)
+        kern.set_cpu_offline(1)
+        # The nest is empty and the home anchor gone — not pointing at
+        # the corpse of cpu 1.
+        assert not policy.primary and policy.home_cpu is None
+        # The orphaned hog was re-placed through the nest search onto an
+        # online cpu, with no stale attachment back to cpu 1.
+        assert all(c is None or kern.cpu_online[c]
+                   for c in hog.core_history)
+        policy.check_invariants()
+        eng.run()
+        assert not hog.alive
+
+    def test_whole_socket_offline_repairs_onto_survivor(self):
+        eng, kern, policy = make()
+        socket0 = [c for c in range(kern.topology.n_cpus)
+                   if kern.topology.socket_of(c) == 0]
+        policy.primary.update(socket0[:3])
+        policy.reserve.update(socket0[3:5])
+        policy.home_cpu = socket0[0]
+        hogs = [occupy(kern, c) for c in socket0[:6]]
+        eng.run(until=100)
+        for c in socket0:
+            kern.set_cpu_offline(c)
+        # No nest member survives on the dead socket and every orphaned
+        # task's attachment history references only online cpus.
+        assert not (policy.primary | policy.reserve) & set(socket0)
+        assert policy.home_cpu is None or kern.cpu_online[policy.home_cpu]
+        for hog in hogs:
+            assert all(c is None or kern.cpu_online[c]
+                       for c in hog.core_history)
+        policy.check_invariants()
+        eng.run()
+        assert all(not hog.alive for hog in hogs)
+
+    def test_whole_socket_offline_burst_is_deterministic(self):
+        """A socket-wide correlated burst through the injector yields a
+        bit-identical run when repeated with the same seed."""
+        fc = FaultConfig(core_failure_rate_per_s=50.0,
+                         core_failure_burst=32, horizon_us=60_000,
+                         core_failure_downtime_us=10_000)
+        runs = [run_experiment(
+            make_workload("phoronix-libavif-avifenc-1", scale=0.3),
+            get_machine("5218_2s"), "nest", "schedutil", seed=11,
+            faults=fc) for _ in range(2)]
+        assert runs[0].makespan_us == runs[1].makespan_us
+        assert runs[0].metrics == runs[1].metrics
+
+
 class TestCompactionAndImpatience:
     def test_stale_primary_core_demoted_under_fault_pressure(self):
         eng, kern, policy = make()

@@ -273,10 +273,10 @@ class TestRunAnalyzers:
             run_analyzers([], AnalysisContext(),
                           [SpinEconomicsAnalyzer(), SpinEconomicsAnalyzer()])
 
-    def test_six_standard_analyzers_sorted(self):
+    def test_standard_analyzers_sorted(self):
         reports = run_analyzers([], AnalysisContext())
         assert list(reports) == sorted(a.name for a in default_analyzers())
-        assert len(reports) == 6
+        assert len(reports) == 7
 
     def test_envelope_without_result_uses_event_span(self):
         report = analyze_run(None, [ev(500, NEST_PROMOTE, value=1)])

@@ -13,9 +13,12 @@ import pytest
 
 from repro.core.nest import NestPolicy
 from repro.core.params import NestParams
+from repro.faults import FaultConfig
+from repro.kernel.scheduler_core import Kernel
 from repro.obs import events as oev
+from repro.sched.ftrt import FtrtPolicy
 from repro.verify import Scenario, check_run, run_scenario
-from repro.verify.generate import freeze_params
+from repro.verify.generate import freeze_faults, freeze_params
 from repro.verify.shrink import shrink
 
 #: dacapo-h2 churns enough tasks that end-of-run exit demotions pile
@@ -24,6 +27,24 @@ CANARY_SCENARIO = Scenario(
     workload="dacapo-h2", machine="ryzen_4650g", scheduler="nest",
     governor="schedutil", seed=3, scale=0.1,
     nest_params=freeze_params(NestParams(r_max=1)))
+
+#: Fault-free FT-RT deadline run: every job meets its deadline and every
+#: backup is admitted disjoint, so the rt.* invariants are silent — until
+#: a mutant breaks the protocol.
+FTRT_CANARY = Scenario(
+    workload="deadline-periodic", machine="ryzen_4650g", scheduler="ftrt",
+    governor="schedutil", seed=7, scale=1.0)
+
+#: The same run under a correlated core-failure storm dense enough that
+#: kills and backup activations actually happen (the stock profiles'
+#: 2s horizon outlives this short run).
+FTRT_FAULTED_CANARY = Scenario(
+    workload="deadline-periodic", machine="ryzen_4650g", scheduler="ftrt",
+    governor="schedutil", seed=7, scale=1.0,
+    faults=freeze_faults(FaultConfig(core_failure_rate_per_s=60.0,
+                                     core_failure_burst=3,
+                                     core_failure_downtime_us=10_000,
+                                     horizon_us=100_000)))
 
 
 def _names(scenario=CANARY_SCENARIO):
@@ -104,6 +125,66 @@ def test_canary_failure_shrinks_to_a_replayable_repro(tmp_path):
     path = save_repro(tmp_path / "canary.json", small, small_violations)
     # Unmutated code replays clean: the repro documents a fixed bug.
     assert replay_repro(path) == []
+
+
+class TestRtCanaries:
+    """Mutation canaries for the three FT-RT invariants (DESIGN.md §10):
+    each mutant is protocol-breaking but keeps the policy's own counter
+    self-check green, so only the oracle stands in its way."""
+
+    def test_ftrt_baselines_are_clean(self):
+        assert _names(FTRT_CANARY) == set()
+        assert _names(FTRT_FAULTED_CANARY) == set()
+
+    def test_oracle_catches_backup_on_primary_core(self):
+        # Mutation: the disjointness scan "finds" the primary's own cpu —
+        # one core failure would now take out both copies of the job.
+        def bad_disjoint(self, pcpu):
+            return pcpu if self.kernel.cpu_online[pcpu] else None
+
+        with mock.patch.object(FtrtPolicy, "_disjoint_cpu", bad_disjoint):
+            names = _names(FTRT_CANARY)
+        assert "rt.backup_disjoint" in names
+
+    def test_oracle_catches_phantom_deadline_misses(self):
+        # Mutation: the accounting flips every outcome to a miss.  In a
+        # fault-free run there is nothing to blame the misses on, so the
+        # causality invariant convicts.
+        orig = Kernel._rt_account
+
+        def bad_account(self, primary, met, recovery_us=None):
+            orig(self, primary, False, recovery_us)
+
+        with mock.patch.object(Kernel, "_rt_account", bad_account):
+            names = _names(FTRT_CANARY)
+        assert "rt.miss_causality" in names
+
+    def test_oracle_catches_unpaired_backup_activation(self):
+        # Mutation: retiring a cancelled backup emits a spurious
+        # activation event (a plausible refactor slip) — the event stream
+        # no longer mirrors the activation counter, and the event's
+        # timestamp has no core-failure to pair with.
+        orig = Kernel._rt_on_exit
+
+        def bad_on_exit(self, task):
+            if task.backup_of is not None and self.obs.enabled:
+                self.obs.emit(self.engine.now, oev.RT_BACKUP_ACTIVATE,
+                              task=task.tid, value=task.backup_of.tid)
+            orig(self, task)
+
+        with mock.patch.object(Kernel, "_rt_on_exit", bad_on_exit):
+            names = _names(FTRT_CANARY)
+        assert "rt.activation_pairing" in names
+
+    def test_rt_mutations_survive_the_policy_self_check(self):
+        # The disjointness mutant increments disjoint_ok for its bogus
+        # placements, so FtrtPolicy.check_invariants stays balanced.
+        def bad_disjoint(self, pcpu):
+            return pcpu if self.kernel.cpu_online[pcpu] else None
+
+        with mock.patch.object(FtrtPolicy, "_disjoint_cpu", bad_disjoint):
+            art = run_scenario(FTRT_CANARY)
+        assert art.error is None
 
 
 def test_mutations_survive_the_policy_self_check():

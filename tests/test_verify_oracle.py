@@ -197,6 +197,97 @@ def test_catches_fault_count_drift():
     assert "faults.consistency" in _names(check_run(broken))
 
 
+FTRT_SCENARIO = Scenario(
+    workload="deadline-periodic", machine="ryzen_4650g", scheduler="ftrt",
+    governor="schedutil", seed=2, scale=1.0,
+    faults=freeze_faults(FaultConfig(core_failure_rate_per_s=60.0,
+                                     core_failure_burst=3,
+                                     core_failure_downtime_us=10_000,
+                                     horizon_us=100_000)))
+
+
+@pytest.fixture(scope="module")
+def ftrt_art():
+    art = run_scenario(FTRT_SCENARIO)
+    assert art.error is None
+    # The scenario must actually exercise the RT machinery, or the rt.*
+    # tamper tests below would be vacuous.
+    assert any(e.kind == oev.RT_BACKUP_ACTIVATE for e in art.events)
+    return art
+
+
+def test_ftrt_faulted_run_passes_every_invariant(ftrt_art):
+    assert check_run(ftrt_art) == []
+
+
+def test_catches_miss_before_any_fault(ftrt_art):
+    events = [SchedEvent(t=0, kind=oev.RT_DEADLINE_MISS, task=1, value=0)] \
+        + list(ftrt_art.events)
+    metrics = dict(ftrt_art.result.metrics)
+    old = metrics.get("kernel.rt_deadline_miss", {"type": "counter",
+                                                  "value": 0})
+    metrics["kernel.rt_deadline_miss"] = {"type": "counter",
+                                          "value": old["value"] + 1}
+    broken = _copy_with(ftrt_art, events=events,
+                        result=dataclasses.replace(ftrt_art.result,
+                                                   metrics=metrics))
+    assert "rt.miss_causality" in _names(check_run(broken))
+
+
+def test_catches_miss_in_faultless_run():
+    art = run_scenario(dataclasses.replace(FTRT_SCENARIO, faults=None))
+    assert art.error is None
+    metrics = dict(art.result.metrics)
+    metrics["kernel.rt_deadline_miss"] = {"type": "counter", "value": 1}
+    broken = _copy_with(art, result=dataclasses.replace(art.result,
+                                                        metrics=metrics))
+    assert "rt.miss_causality" in _names(check_run(broken))
+
+
+def test_catches_backup_on_primary_physical_core(ftrt_art):
+    events = list(ftrt_art.events)
+    idx, place = next((i, e) for i, e in enumerate(events)
+                      if e.kind == oev.RT_BACKUP_PLACE and e.value >= 0)
+    events[idx] = place._replace(cpu=place.value)   # same core as primary
+    broken = _copy_with(ftrt_art, events=events)
+    assert "rt.backup_disjoint" in _names(check_run(broken))
+
+
+def test_fallback_backup_placement_not_convicted(ftrt_art):
+    """value=-1 marks an admitted fallback (no committed primary core):
+    the disjointness invariant deliberately lets it pass."""
+    events = list(ftrt_art.events)
+    idx, place = next((i, e) for i, e in enumerate(events)
+                      if e.kind == oev.RT_BACKUP_PLACE and e.value >= 0)
+    events[idx] = place._replace(cpu=place.value, value=-1)
+    broken = _copy_with(ftrt_art, events=events)
+    assert "rt.backup_disjoint" not in _names(check_run(broken))
+
+
+def test_catches_unpaired_activation_event(ftrt_art):
+    last = ftrt_art.events[-1]
+    events = list(ftrt_art.events) + [
+        SchedEvent(t=last.t, kind=oev.RT_BACKUP_ACTIVATE, cpu=0,
+                   task=999, value=998)]
+    broken = _copy_with(ftrt_art, events=events)
+    assert "rt.activation_pairing" in _names(check_run(broken))
+
+
+def test_catches_kill_outside_failure_instant(ftrt_art):
+    events = list(ftrt_art.events)
+    idx, kill = next((i, e) for i, e in enumerate(events)
+                     if e.kind == oev.RT_KILL)
+    failure_times = {e.t for e in events
+                     if e.kind == oev.FAULT_CORE_FAILURE}
+    # Retime the kill to an instant with no core-failure event, keeping
+    # the log sorted (drop + re-insert at the front at t=0).
+    events.pop(idx)
+    assert 0 not in failure_times
+    events.insert(0, kill._replace(t=0))
+    broken = _copy_with(ftrt_art, events=events)
+    assert "rt.activation_pairing" in _names(check_run(broken))
+
+
 def test_violation_formatting():
     v = Violation("nest.final_state", "boom", t=42)
     assert "nest.final_state" in str(v) and "@t=42" in str(v)

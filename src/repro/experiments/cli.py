@@ -49,7 +49,7 @@ from ..obs.export import events_to_jsonl, text_summary, write_chrome_trace
 from ..obs.history import HistoryStore, append_trajectory, trajectory_entries
 from ..obs.telemetry.hub import TelemetryHub
 from ..obs.telemetry.view import make_view
-from ..sched.registry import available_policies
+from ..sched.registry import available_policies, iter_policy_infos
 # Re-exported for backward compatibility: the catalogue used to live here.
 from ..workloads.catalog import make_workload, workload_names
 from .cache import ResultCache
@@ -106,6 +106,16 @@ def _cmd_list(args) -> int:
     print("machines:")
     for key, m in ALL_MACHINES.items():
         print(f"  {key:12s} {m.describe()}")
+    print("\nschedulers (policy registry):")
+    for info in iter_policy_infos():
+        tags = []
+        if info.fast:
+            tags.append("fast-engine")
+        if info.invariant_groups:
+            tags.append("invariants: " + ",".join(sorted(
+                info.invariant_groups)))
+        suffix = f" [{'; '.join(tags)}]" if tags else ""
+        print(f"  {info.name:12s} {info.description}{suffix}")
     print("\nworkloads:")
     for name in workload_names():
         print(f"  {name}")
@@ -486,10 +496,28 @@ def _cmd_history_export(args) -> int:
     return 0
 
 
+def _compare_combos(schedulers):
+    """The (scheduler, governor) grid for ``compare --scheduler``.
+
+    No flags: the paper's standard four combos.  With flags: the CFS
+    baseline pair first (speedups are quoted against cfs-schedutil),
+    then each requested scheduler under both governors, deduplicated in
+    order."""
+    if not schedulers:
+        return STANDARD_COMBOS
+    combos = [("cfs", "schedutil"), ("cfs", "performance")]
+    for sched in schedulers:
+        for governor in ("schedutil", "performance"):
+            if (sched, governor) not in combos:
+                combos.append((sched, governor))
+    return tuple(combos)
+
+
 def _cmd_compare(args) -> int:
     executor = _executor_from_args(args)
     cmp = compare(lambda: make_workload(args.workload, scale=args.scale),
-                  get_machine(args.machine), combos=STANDARD_COMBOS,
+                  get_machine(args.machine),
+                  combos=_compare_combos(args.scheduler),
                   seeds=tuple(range(1, args.seeds + 1)), executor=executor,
                   faults=_faults_from_args(args), engine=args.engine)
     rows = []
@@ -518,6 +546,9 @@ def _cmd_sweep(args) -> int:
         print(f"error: {args.experiment} has no buildable workloads to sweep",
               file=sys.stderr)
         return 2
+    if args.scheduler:
+        specs = [dataclasses.replace(s, scheduler=args.scheduler)
+                 for s in specs]
     faults = _faults_from_args(args)
     if faults is not None:
         specs = [dataclasses.replace(s, faults=faults) for s in specs]
@@ -566,6 +597,8 @@ def _cmd_verify(args) -> int:
     from ..verify.fuzz import FuzzConfig, fuzz
     from ..verify.repro import replay_repro
 
+    if args.action == "conformance":
+        return _cmd_verify_conformance(args)
     if args.action == "fuzz":
         config = FuzzConfig(
             runs=args.runs, base_seed=args.seed,
@@ -605,6 +638,46 @@ def _cmd_verify(args) -> int:
         else:
             print(f"{path}: clean (the captured failure no longer "
                   f"reproduces)")
+    return rc
+
+
+def _cmd_verify_conformance(args) -> int:
+    """Run the policy conformance battery; exit 1 on any failure.
+
+    ``--expect-broken`` instead certifies the suite itself: the broken
+    fixture policy is registered, run, and must be *convicted* — exit 0
+    means the suite caught it."""
+    from ..sched.registry import unregister_policy
+    from ..verify.conformance import (register_broken_fixture,
+                                      render_report, run_conformance)
+
+    if args.expect_broken:
+        register_broken_fixture()
+        try:
+            report = run_conformance("broken", hashseed_check=False)
+        finally:
+            unregister_policy("broken")
+        print(render_report(report))
+        if report.passed:
+            print("error: the broken fixture passed conformance — the "
+                  "suite has lost its teeth", file=sys.stderr)
+            return 1
+        oracle_failures = [c for c in report.failures()
+                           if c.name == "oracle"]
+        if not oracle_failures:
+            print("error: the broken fixture failed, but not via the "
+                  "oracle", file=sys.stderr)
+            return 1
+        print("broken fixture convicted, as required")
+        return 0
+
+    policies = args.policy or available_policies()
+    rc = 0
+    for name in policies:
+        report = run_conformance(name, hashseed_check=not args.fast)
+        print(render_report(report))
+        if not report.passed:
+            rc = 1
     return rc
 
 
@@ -705,6 +778,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="compare schedulers on one workload")
     cmp_p.add_argument("--workload", required=True)
     cmp_p.add_argument("--machine", default="5218_2s")
+    cmp_p.add_argument("--scheduler", action="append", default=None,
+                       choices=available_policies(), metavar="POLICY",
+                       help="compare these schedulers against the CFS "
+                            "baseline (repeatable; default: the standard "
+                            "cfs/nest grid)")
     cmp_p.add_argument("--seeds", type=int, default=3)
     cmp_p.add_argument("--scale", type=float, default=1.0)
     _add_sweep_options(cmp_p)
@@ -715,6 +793,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser("sweep",
                              help="run a registry experiment's full sweep")
     sweep_p.add_argument("experiment", help="registry id, e.g. fig5")
+    sweep_p.add_argument("--scheduler", default=None,
+                         choices=available_policies(), metavar="POLICY",
+                         help="override every spec's scheduler (e.g. run "
+                              "a registry sweep under scxnest)")
     sweep_p.add_argument("--seeds", type=int, default=1)
     sweep_p.add_argument("--scale", type=float, default=1.0)
     sweep_p.add_argument("--machine", action="append",
@@ -890,6 +972,20 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p = verify_sub.add_parser(
         "replay", help="re-run saved repro files through their checks")
     replay_p.add_argument("repro", nargs="+", metavar="REPRO.json")
+    conf_p = verify_sub.add_parser(
+        "conformance",
+        help="run the policy conformance battery (verify/conformance.py)")
+    conf_p.add_argument("--policy", action="append", default=None,
+                        choices=available_policies(), metavar="POLICY",
+                        help="certify only these policies (repeatable; "
+                             "default: every registered policy)")
+    conf_p.add_argument("--fast", action="store_true",
+                        help="skip the cross-interpreter PYTHONHASHSEED "
+                             "determinism check (spawns subprocesses)")
+    conf_p.add_argument("--expect-broken", action="store_true",
+                        help="self-test: run the deliberately broken "
+                             "fixture policy and exit 0 only if the "
+                             "suite convicts it")
     verify_p.set_defaults(fn=_cmd_verify)
 
     desc_p = sub.add_parser("describe", help="show a registry entry")

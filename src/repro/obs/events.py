@@ -84,11 +84,25 @@ RT_DEADLINE_MISS = "rt.deadline_miss"    # job lost or finished late
 # --- nest repair under faults --------------------------------------------
 NEST_OFFLINE_EVICT = "nest.offline_evict"  # offline core evicted from nests
 
+# --- scx_nest comparator (sched/scxnest.py; DESIGN.md §11) ---------------
+# Mask transitions mirror the nest.* contract: ``value`` is the primary
+# mask size *after* the transition, and together with NEST_OFFLINE_EVICT
+# they are exhaustive over primary-mask mutations (oracle replay).
+SCXNEST_PROMOTE = "scxnest.promote"        # reserve -> primary (warm hit)
+SCXNEST_EXPAND = "scxnest.expand"          # impatient: CFS pick -> primary
+SCXNEST_COMPACT = "scxnest.compact"        # compaction timer fired: demoted
+SCXNEST_COMPACT_ARM = "scxnest.compact_arm"      # per-core timer armed
+SCXNEST_COMPACT_CANCEL = "scxnest.compact_cancel"  # core reused: timer void
+SCXNEST_VTIME_PULL = "scxnest.vtime_pull"  # idle core pulled the min-vtime
+                                           # queued task (value=source cpu)
+
 #: Every kind the log may carry, for exporters and schema validation.
 EVENT_KINDS = frozenset({
     PLACE_ATTACH, PLACE_PRIMARY, PLACE_RESERVE, PLACE_IMPATIENT, PLACE_CFS,
     NEST_PROMOTE, NEST_EXPAND, NEST_COMPACT, NEST_EXIT_DEMOTE,
     NEST_OFFLINE_EVICT,
+    SCXNEST_PROMOTE, SCXNEST_EXPAND, SCXNEST_COMPACT, SCXNEST_COMPACT_ARM,
+    SCXNEST_COMPACT_CANCEL, SCXNEST_VTIME_PULL,
     SCHED_FORK, SCHED_WAKEUP, SCHED_DISPATCH, SCHED_PREEMPT, SCHED_MIGRATE,
     SPIN_START, SPIN_STOP,
     FREQ_STEP, FREQ_REQUEST,
@@ -135,6 +149,14 @@ PRIMARY_REMOVE_KINDS = frozenset({NEST_COMPACT, NEST_EXIT_DEMOTE})
 #: Placement commit kinds (the kernel accepted the policy's choice and
 #: recorded the core in the task's §3.3 attachment history).
 COMMIT_KINDS = frozenset({SCHED_FORK, SCHED_WAKEUP})
+
+#: scx_nest primary-mask transitions (same exhaustiveness contract as the
+#: PRIMARY_*_KINDS above, for the ``scxnest.mask_replay`` oracle check).
+SCXNEST_PRIMARY_ADD_KINDS = frozenset({SCXNEST_PROMOTE, SCXNEST_EXPAND})
+SCXNEST_PRIMARY_REMOVE_KINDS = frozenset({SCXNEST_COMPACT})
+SCXNEST_TRANSITION_KINDS = frozenset({
+    SCXNEST_PROMOTE, SCXNEST_EXPAND, SCXNEST_COMPACT,
+})
 
 #: Short tier names of the placement kinds, in presentation order
 #: (``place.attach`` -> ``attach`` ...).  Analysis reports key latency

@@ -1,17 +1,23 @@
 """Core-selection policies and their registry.
 
-CFS (baseline), Smove (comparison baseline) and FT-RT (fault-tolerant
-deadline placement) live here; Nest lives in ``core/``.  All are resolved
-by short name through :mod:`repro.sched.registry`.
+CFS (baseline), Smove (comparison baseline), FT-RT (fault-tolerant
+deadline placement) and scx_nest (Meta's sched_ext descendant of Nest)
+live here; Nest lives in ``core/``.  All are resolved by short name
+through :mod:`repro.sched.registry`, the single source of truth the
+CLI, the fuzz pool and the conformance suite derive from (DESIGN.md
+§11).
 """
 
 from .base import SelectionPolicy
 from .cfs import CfsPolicy, WAKEUP_SCAN_LIMIT
 from .ftrt import FtrtPolicy
-from .registry import (available_policies, make_registered_policy,
-                       register_policy)
+from .registry import (available_policies, iter_policy_infos,
+                       make_registered_policy, policy_info,
+                       register_policy, unregister_policy)
+from .scxnest import ScxNestPolicy
 from .smove import SmovePolicy
 
 __all__ = ["SelectionPolicy", "CfsPolicy", "SmovePolicy", "FtrtPolicy",
-           "WAKEUP_SCAN_LIMIT", "available_policies",
-           "make_registered_policy", "register_policy"]
+           "ScxNestPolicy", "WAKEUP_SCAN_LIMIT", "available_policies",
+           "iter_policy_infos", "make_registered_policy", "policy_info",
+           "register_policy", "unregister_policy"]

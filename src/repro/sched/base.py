@@ -1,4 +1,59 @@
-"""Interface between the kernel and a core-selection policy."""
+"""Interface between the kernel and a core-selection policy.
+
+This module is the author-facing half of the policy SDK (the other half
+is :mod:`repro.sched.registry`).  A new scheduler is one subclass of
+:class:`SelectionPolicy` plus one ``register_policy`` call; everything
+else — CLI exposure, fuzzing, the invariant oracle, the conformance
+suite — derives from the registry entry.  See README "Writing a new
+scheduler" and DESIGN.md §11 for the walkthrough.
+
+The contract a policy must honour:
+
+**Lifecycle.**  A policy instance is constructed unbound (no kernel),
+bound exactly once via :meth:`bind` (which stores ``self.kernel`` and
+calls :meth:`on_bind`), used for one simulation, then discarded.  All
+per-run state must be reset by constructing a fresh instance — the
+registry factory is called once per run, so instance attributes are the
+right place for run state.  Never cache anything across instances in
+class or module globals.
+
+**Determinism.**  A policy must be a pure function of the simulation
+state it observes.  Concretely: no wall-clock reads, no ``random``
+module (draw from the engine's seeded streams via
+``self.kernel.engine.rng`` if randomness is needed), and no iteration
+over unordered containers where the order can leak into a decision —
+sort, or keep insertion-ordered structures.  The conformance suite runs
+every policy twice and under two ``PYTHONHASHSEED`` values and requires
+bit-identical results and event streams.
+
+**Event-emission obligations.**  Observability is opt-in per run: guard
+every emit with ``if self._obs.enabled:`` (bind-time pattern: replace a
+detached placeholder ``EventLog()`` with ``self.kernel.engine.obs`` in
+:meth:`on_bind`, as Nest/FT-RT/scx_nest do).  Every kind emitted must be
+a member of ``repro.obs.events.EVENT_KINDS`` — the oracle's
+``events.vocabulary`` invariant convicts unknown kinds.  If the policy
+keeps counters that mirror events (it should), the mirror must be exact:
+the oracle families (``nest.*``, ``scxnest.*``, ``rt.*``) cross-check
+counters against the event stream, and the registry entry's
+``invariant_groups`` declares which family applies.  Behaviour must not
+change with observability on/off — events and counters are read-only
+taps, never control flow.
+
+**Self-check protocol.**  :meth:`check_invariants` is called by the
+experiment runner after every completed simulation.  Raise
+``AssertionError`` with a message naming the inconsistent counters when
+internal accounting does not add up (e.g. Nest: tier hits must equal
+total placements).  The self-check guards the policy's own bookkeeping;
+the external oracle guards its observable behaviour — mutation canaries
+deliberately construct bugs that pass the former and are caught by the
+latter, so do not treat a passing self-check as correctness.
+
+**Metrics convention.**  Keep counters/histograms in a
+``repro.obs.metrics.MetricsRegistry`` exposed as ``self.metrics``; the
+runner serializes it onto the result under the ``{name.lower()}.``
+prefix.  Create fault-path-only counters lazily so fault-free runs keep
+an identical metrics dict (and identical cached results).
+"""
 
 from __future__ import annotations
 
@@ -36,9 +91,16 @@ class SelectionPolicy:
     # ---- required selection paths ----------------------------------------
 
     def select_cpu_fork(self, task: "Task", parent_cpu: int) -> int:
+        """Choose the cpu for a newly forked ``task``.
+
+        Must return an **online** cpu id synchronously; the kernel then
+        runs the two-step commit (the §3.4 ``placement_pending`` window)
+        and emits the ``sched.fork`` commit event itself."""
         raise NotImplementedError
 
     def select_cpu_wakeup(self, task: "Task", waker_cpu: int) -> int:
+        """Choose the cpu for a waking ``task`` (same obligations as
+        :meth:`select_cpu_fork`; the commit event is ``sched.wakeup``)."""
         raise NotImplementedError
 
     # ---- optional hooks ------------------------------------------------

@@ -1498,23 +1498,19 @@ class FastSmovePolicy(SmovePolicy):
         self._cfs._bind_fast()
 
 
-#: Schedulers with a bit-identical fast-engine variant.  Anything else
-#: (FT-RT) must run on the reference engine; the differential harness
-#: keys off this tuple when deciding whether a scenario is parity-checkable.
-FAST_SCHEDULERS = ("cfs", "nest", "smove")
+#: Schedulers with a bit-identical fast-engine variant, derived from the
+#: policy registry (an entry is fast iff it registered a
+#: ``fast_factory``).  Anything else (FT-RT, scx_nest) must run on the
+#: reference engine; the differential harness keys off this tuple when
+#: deciding whether a scenario is parity-checkable.
+from ..sched.registry import fast_scheduler_names, make_registered_fast_policy
+
+FAST_SCHEDULERS = fast_scheduler_names()
 
 
 def make_fast_policy(name: str, nest_params=None):
-    """Instantiate the fast variant of a selection policy by short name."""
-    key = name.lower()
-    if key == "cfs":
-        return FastCfsPolicy()
-    if key == "nest":
-        return FastNestPolicy(nest_params or DEFAULT_PARAMS)
-    if key == "smove":
-        return FastSmovePolicy()
-    if key == "ftrt":
-        raise ValueError(
-            "scheduler 'ftrt' has no fast-engine variant; run it on the "
-            "reference engine (--engine ref)")
-    raise ValueError(f"unknown scheduler {name!r}")
+    """Instantiate the fast variant of a selection policy by short name.
+
+    Registry entries without a fast factory refuse with the standard
+    declared-refusal error (sched/registry.py)."""
+    return make_registered_fast_policy(name, nest_params)

@@ -16,8 +16,14 @@ Three pillars, used by ``repro verify`` and by the test suite:
 reduces the scenario to a minimal reproducer persisted by :mod:`repro`
 as a JSON file that ``repro verify replay`` (and the permanent
 regression test ``tests/test_repros.py``) can re-run.
+
+:mod:`conformance` packages the pillars into the policy SDK's
+auto-applied certification battery (``repro verify conformance``,
+DESIGN.md §11.2).
 """
 
+from .conformance import (ConformanceCheck, ConformanceReport,
+                          render_report, run_conformance)
 from .differential import (DIFF_CHECKS, check_cached_roundtrip,
                            check_empty_fault_plan, check_nest_vs_cfs,
                            check_serial_vs_parallel)
@@ -29,10 +35,11 @@ from .repro import load_repro, replay_repro, save_repro
 from .shrink import shrink
 
 __all__ = [
-    "DIFF_CHECKS", "FuzzConfig", "FuzzReport", "INVARIANTS",
-    "NestSnapshot", "RunArtifacts", "Scenario", "ScenarioGenerator",
-    "Violation", "check_cached_roundtrip", "check_empty_fault_plan",
-    "check_nest_vs_cfs", "check_run", "check_serial_vs_parallel",
-    "fuzz", "load_repro", "replay_repro", "run_scenario", "save_repro",
+    "ConformanceCheck", "ConformanceReport", "DIFF_CHECKS", "FuzzConfig",
+    "FuzzReport", "INVARIANTS", "NestSnapshot", "RunArtifacts", "Scenario",
+    "ScenarioGenerator", "Violation", "check_cached_roundtrip",
+    "check_empty_fault_plan", "check_nest_vs_cfs", "check_run",
+    "check_serial_vs_parallel", "fuzz", "load_repro", "render_report",
+    "replay_repro", "run_conformance", "run_scenario", "save_repro",
     "scenario_strategy", "shrink",
 ]

@@ -48,9 +48,14 @@ WORKLOAD_POOL = (
 #: Weighted machine pool (small boxes dominate to keep runs fast).
 MACHINE_POOL = ("ryzen_4650g", "ryzen_4650g", "ryzen_4650g", "5218_2s")
 
-#: Weighted scheduler pool (Nest dominates: it carries most invariants;
-#: FT-RT carries the rt.* family and runs on the reference engine only).
-SCHEDULER_POOL = ("nest", "nest", "nest", "cfs", "smove", "ftrt")
+#: Weighted scheduler pool, derived from the policy registry's
+#: ``fuzz_weight`` metadata (Nest dominates: it carries most invariants;
+#: FT-RT carries the rt.* family and scx_nest the scxnest.* family, both
+#: on the reference engine only).  Any newly registered policy joins the
+#: pool — and therefore the seeded scenario stream — automatically.
+from ..sched.registry import fuzz_scheduler_pool
+
+SCHEDULER_POOL = fuzz_scheduler_pool()
 
 GOVERNOR_POOL = ("schedutil", "schedutil", "performance")
 
@@ -167,8 +172,9 @@ class ScenarioGenerator:
         governor = s.choice(GOVERNOR_POOL)
         seed = s.randrange(1, 1_000_000)
 
+        from ..sched.registry import policy_info
         nest_params = None
-        if scheduler == "nest" and s.random() < 0.5:
+        if policy_info(scheduler).uses_nest_params and s.random() < 0.5:
             params = NestParams(
                 p_remove_ticks=s.choice((0.5, 1.0, 2.0, 4.0)),
                 r_max=s.randrange(0, 9),

@@ -92,7 +92,19 @@ def _params_of(art: "RunArtifacts") -> NestParams:
 
 
 def _is_nest(art: "RunArtifacts") -> bool:
-    return art.scenario.scheduler == "nest"
+    return _in_group(art, "nest")
+
+
+def _is_scxnest(art: "RunArtifacts") -> bool:
+    return _in_group(art, "scxnest")
+
+
+def _in_group(art: "RunArtifacts", group: str) -> bool:
+    """Policy-specific invariant families are gated by the registry's
+    ``invariant_groups`` metadata, not by hard-coded scheduler names, so
+    a newly registered policy opts into a family with one tuple entry."""
+    from ..sched.registry import invariant_groups_of
+    return group in invariant_groups_of(art.scenario.scheduler)
 
 
 def _has_hotplug(art: "RunArtifacts") -> bool:
@@ -405,9 +417,11 @@ def check_histograms(art: "RunArtifacts") -> Iterable[Violation]:
             if any(c < 0 for c in entry["counts"]):
                 yield Violation("metrics.histograms",
                                 f"{name}: negative bucket count")
-    if _is_nest(art):
-        placements = _counter(m, "nest.placements")
-        for hname in ("nest.search_len", "nest.primary_size"):
+    for prefix in ("nest", "scxnest"):
+        if not _in_group(art, prefix):
+            continue
+        placements = _counter(m, f"{prefix}.placements")
+        for hname in (f"{prefix}.search_len", f"{prefix}.primary_size"):
             entry = m.get(hname)
             if entry is not None and entry["count"] != placements:
                 yield Violation("metrics.histograms",
@@ -626,6 +640,126 @@ def check_rt_activation_pairing(art: "RunArtifacts") -> Iterable[Violation]:
                         f"{_counter(m, 'kernel.rt_kills')} RT kills")
 
 
+def check_scxnest_accounting(art: "RunArtifacts") -> Iterable[Violation]:
+    """scx_nest tier accounting: every placement is claimed by exactly
+    one of primary / reserve / global-queue fallback, impatient
+    placements are a subset of the fallbacks, and compaction-timer
+    outcomes never exceed the timers armed."""
+    if not _is_scxnest(art):
+        return
+    m = art.result.metrics
+    tiers = {k: _counter(m, f"scxnest.{k}") for k in
+             ("primary_hits", "reserve_hits", "cfs_fallbacks")}
+    placements = _counter(m, "scxnest.placements")
+    if sum(tiers.values()) != placements:
+        yield Violation("scxnest.accounting",
+                        f"{tiers} sums to {sum(tiers.values())} "
+                        f"!= placements {placements}")
+    if _counter(m, "scxnest.impatient_placements") > tiers["cfs_fallbacks"]:
+        yield Violation("scxnest.accounting",
+                        f"impatient placements "
+                        f"{_counter(m, 'scxnest.impatient_placements')} "
+                        f"exceed cfs fallbacks {tiers['cfs_fallbacks']}")
+    fired = (_counter(m, "scxnest.compactions")
+             + _counter(m, "scxnest.compact_cancels"))
+    if fired > _counter(m, "scxnest.compact_arms"):
+        yield Violation("scxnest.accounting",
+                        f"{fired} compaction-timer outcomes but only "
+                        f"{_counter(m, 'scxnest.compact_arms')} arms")
+    if _counter(m, "scxnest.vtime_pulls") \
+            > _counter(m, "scxnest.vtime_enqueues"):
+        yield Violation("scxnest.accounting",
+                        f"{_counter(m, 'scxnest.vtime_pulls')} vtime pulls "
+                        f"exceed {_counter(m, 'scxnest.vtime_enqueues')} "
+                        f"enqueues")
+
+
+def check_scxnest_event_counter_match(art: "RunArtifacts"
+                                      ) -> Iterable[Violation]:
+    """scx_nest's event log and counters tell the same story."""
+    if not _is_scxnest(art) or not art.events:
+        return
+    m = art.result.metrics
+    counts = _kind_counts(art.events)
+    expected = {
+        oev.PLACE_PRIMARY: _counter(m, "scxnest.primary_hits"),
+        oev.PLACE_RESERVE: _counter(m, "scxnest.reserve_hits"),
+        oev.SCXNEST_PROMOTE: _counter(m, "scxnest.reserve_hits"),
+        oev.PLACE_IMPATIENT: _counter(m, "scxnest.impatient_placements"),
+        oev.PLACE_CFS: (_counter(m, "scxnest.cfs_fallbacks")
+                        - _counter(m, "scxnest.impatient_placements")),
+        oev.SCXNEST_EXPAND: _counter(m, "scxnest.expansions"),
+        oev.SCXNEST_COMPACT: _counter(m, "scxnest.compactions"),
+        oev.SCXNEST_COMPACT_ARM: _counter(m, "scxnest.compact_arms"),
+        oev.SCXNEST_COMPACT_CANCEL: _counter(m, "scxnest.compact_cancels"),
+        oev.SCXNEST_VTIME_PULL: _counter(m, "scxnest.vtime_pulls"),
+        oev.NEST_OFFLINE_EVICT: _counter(m, "scxnest.offline_evictions"),
+    }
+    for kind, want in expected.items():
+        got = counts.get(kind, 0)
+        if got != want:
+            yield Violation("scxnest.event_counter_match",
+                            f"{got} {kind} event(s) but counters say {want}")
+    total_place = sum(counts.get(k, 0) for k in oev.PLACEMENT_KINDS)
+    placements = _counter(m, "scxnest.placements")
+    if total_place != placements:
+        yield Violation("scxnest.event_counter_match",
+                        f"{total_place} place.* events != placements "
+                        f"counter {placements}")
+
+
+def check_scxnest_mask_replay(art: "RunArtifacts") -> Iterable[Violation]:
+    """The primary mask replayed from ``scxnest.*`` transition events is
+    always consistent: promotions and expansions add non-members,
+    compactions remove members, each transition's reported size matches
+    the replayed set, primary hits target members, and the final
+    replayed set equals the live snapshot."""
+    if not _is_scxnest(art) or not art.events:
+        return
+    primary: set = set()
+    bad = 0
+    for ev in art.events:
+        kind = ev.kind
+        if kind in oev.SCXNEST_PRIMARY_ADD_KINDS:
+            # Both adds are strict: the policy guards membership before
+            # emitting (unlike nest.expand, which may be idempotent).
+            if ev.cpu in primary:
+                yield Violation("scxnest.mask_replay",
+                                f"{kind} of cpu {ev.cpu} already in primary",
+                                t=ev.t)
+                bad += 1
+            primary.add(ev.cpu)
+        elif kind in oev.SCXNEST_PRIMARY_REMOVE_KINDS:
+            if ev.cpu not in primary:
+                yield Violation("scxnest.mask_replay",
+                                f"{kind} of cpu {ev.cpu} not in primary",
+                                t=ev.t)
+                bad += 1
+            primary.discard(ev.cpu)
+        elif kind == oev.NEST_OFFLINE_EVICT:
+            primary.discard(ev.cpu)   # may have been reserve-only
+        elif kind == oev.PLACE_PRIMARY:
+            if ev.cpu not in primary:
+                yield Violation("scxnest.mask_replay",
+                                f"{kind} chose cpu {ev.cpu} outside the "
+                                f"replayed primary mask {sorted(primary)}",
+                                t=ev.t)
+                bad += 1
+        else:
+            continue
+        if kind in oev.SCXNEST_TRANSITION_KINDS and ev.value != len(primary):
+            yield Violation("scxnest.mask_replay",
+                            f"{kind} reports primary size {ev.value}, "
+                            f"replay says {len(primary)}", t=ev.t)
+            bad += 1
+        if bad >= MAX_PER_INVARIANT:
+            return
+    if art.nest is not None and primary != set(art.nest.primary):
+        yield Violation("scxnest.mask_replay",
+                        f"final replayed primary {sorted(primary)} != live "
+                        f"snapshot {sorted(art.nest.primary)}")
+
+
 def check_result_sanity(art: "RunArtifacts") -> Iterable[Violation]:
     """Energy, latency and horizon bounds on the summary record."""
     res = art.result
@@ -668,6 +802,9 @@ INVARIANTS: Tuple[Tuple[str, Any], ...] = (
     ("rt.miss_causality", check_rt_miss_causality),
     ("rt.backup_disjoint", check_rt_backup_disjoint),
     ("rt.activation_pairing", check_rt_activation_pairing),
+    ("scxnest.accounting", check_scxnest_accounting),
+    ("scxnest.event_counter_match", check_scxnest_event_counter_match),
+    ("scxnest.mask_replay", check_scxnest_mask_replay),
 )
 
 

@@ -27,6 +27,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from test_obs_export import GOLDEN_PATH, golden_doc, golden_json  # noqa: E402
 from test_obs_analysis import (ANALYSIS_GOLDEN_PATH,  # noqa: E402
                                analysis_golden_report)
+from test_scxnest_golden import (SCXNEST_GOLDEN_PATH,  # noqa: E402
+                                 scxnest_golden_report)
 
 
 def regenerate(out: Optional[Path] = None) -> Path:
@@ -47,9 +49,20 @@ def regenerate_analysis(out: Optional[Path] = None) -> Path:
     return out
 
 
+def regenerate_scxnest(out: Optional[Path] = None) -> Path:
+    """Write the golden scxnest analysis report (default: checked in)."""
+    from repro.obs.analysis import report_json
+    out = Path(out) if out is not None else SCXNEST_GOLDEN_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report_json(scxnest_golden_report(cached=False)),
+                   encoding="utf-8")
+    return out
+
+
 if __name__ == "__main__":
     if len(sys.argv) > 1:
         print(f"wrote {regenerate(Path(sys.argv[1]))}")
     else:
         print(f"wrote {regenerate()}")
         print(f"wrote {regenerate_analysis()}")
+        print(f"wrote {regenerate_scxnest()}")

@@ -44,7 +44,8 @@ COREFAIL_DENSE = FaultConfig(core_failure_rate_per_s=60.0,
 
 class TestPolicyRegistry:
     def test_builtins_registered(self):
-        assert available_policies() == ["cfs", "ftrt", "nest", "smove"]
+        assert available_policies() == ["cfs", "ftrt", "nest", "scxnest",
+                                        "smove"]
 
     def test_instantiates_each(self):
         for name in available_policies():
@@ -70,14 +71,14 @@ class TestPolicyRegistry:
         factory = lambda params: FtrtPolicy()
         with pytest.raises(ValueError, match="already registered"):
             register_policy("ftrt", factory)
-        # replace=True swaps the factory; restore the built-in after.
-        from repro.sched.registry import _FACTORIES
-        original = _FACTORIES["ftrt"]
+        # replace=True swaps the entry; restore the built-in after.
+        from repro.sched.registry import _REGISTRY
+        original = _REGISTRY["ftrt"]
         try:
             register_policy("ftrt", factory, replace=True)
-            assert _FACTORIES["ftrt"] is factory
+            assert _REGISTRY["ftrt"].factory is factory
         finally:
-            register_policy("ftrt", original, replace=True)
+            _REGISTRY["ftrt"] = original
 
     def test_runner_resolves_through_registry(self):
         from repro.experiments.runner import make_policy

@@ -13,6 +13,7 @@ from pathlib import Path
 import golden_regen
 from test_obs_analysis import ANALYSIS_GOLDEN_PATH
 from test_obs_export import GOLDEN_PATH
+from test_scxnest_golden import SCXNEST_GOLDEN_PATH
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -30,6 +31,17 @@ def test_regenerate_analysis_matches_checked_in_golden(tmp_path):
 def test_analysis_default_path_is_the_pinned_golden():
     assert ANALYSIS_GOLDEN_PATH.exists()
     assert ANALYSIS_GOLDEN_PATH.name == "golden_analysis.json"
+
+
+def test_regenerate_scxnest_matches_checked_in_golden(tmp_path):
+    out = golden_regen.regenerate_scxnest(tmp_path / "scxnest.json")
+    assert out.read_bytes() == SCXNEST_GOLDEN_PATH.read_bytes()
+
+
+def test_scxnest_default_path_is_the_pinned_golden():
+    assert golden_regen.SCXNEST_GOLDEN_PATH == SCXNEST_GOLDEN_PATH
+    assert SCXNEST_GOLDEN_PATH.exists()
+    assert SCXNEST_GOLDEN_PATH.name == "golden_scxnest_analysis.json"
 
 
 def test_regen_script_cli_matches_golden(tmp_path):
